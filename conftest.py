@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(e.g. running ``pytest`` straight from a fresh checkout in an offline
+environment).  When the package *is* installed this is a harmless no-op
+because the installed location takes whatever precedence pip gave it.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file exists so
+that editable installs also work in offline environments whose setuptools
+lacks PEP 660 support (``pip install -e . --no-build-isolation``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""repro — reproduction of "How Fast Can Eventual Synchrony Lead to Consensus?".
+
+Dutta, Guerraoui, Lamport (DSN 2005) show that consensus can be reached
+within ``O(δ)`` seconds of the (unknown) time at which an eventually
+synchronous system stabilizes — not the ``O(Nδ)`` that leader-driven Paxos
+or rotating-coordinator algorithms need — using a leaderless, session-based
+variant of Paxos.  This package implements that algorithm, the baselines the
+paper argues against, the weak-ordering-oracle variant it sketches, and a
+deterministic discrete-event simulator of the paper's system model, plus the
+workloads, metrics, and experiment harness used to regenerate the paper's
+timing analysis as measured tables.
+
+Quick start::
+
+    from repro import run_scenario, partitioned_chaos_scenario
+
+    scenario = partitioned_chaos_scenario(n=5, seed=7)
+    result = run_scenario(scenario, "modified-paxos")
+    print(result.metrics.decisions.max_lag_after_ts())   # decision lag after TS
+"""
+
+from repro._version import __version__
+from repro.consensus.registry import default_registry
+from repro.core.modified_paxos import ModifiedPaxosBuilder, ModifiedPaxosProcess
+from repro.core.timing import decision_bound, restart_decision_bound
+from repro.harness.runner import RunResult, run_scenario
+from repro.harness.sweep import sweep
+from repro.params import TimingParams
+from repro.sim.simulator import SimulationConfig, Simulator
+from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
+from repro.workloads.coordinator_faults import coordinator_crash_scenario
+from repro.workloads.obsolete import obsolete_ballot_scenario
+from repro.workloads.restarts import restart_after_stability_scenario
+from repro.workloads.scenario import Scenario
+from repro.workloads.stable import stable_scenario
+
+__all__ = [
+    "ModifiedPaxosBuilder",
+    "ModifiedPaxosProcess",
+    "RunResult",
+    "Scenario",
+    "SimulationConfig",
+    "Simulator",
+    "TimingParams",
+    "__version__",
+    "coordinator_crash_scenario",
+    "decision_bound",
+    "default_registry",
+    "lossy_chaos_scenario",
+    "obsolete_ballot_scenario",
+    "partitioned_chaos_scenario",
+    "restart_after_stability_scenario",
+    "restart_decision_bound",
+    "run_scenario",
+    "stable_scenario",
+    "sweep",
+]

@@ -1,0 +1,30 @@
+"""Analysis: traces, metrics, invariants, statistics, and reporting."""
+
+from repro.analysis.invariants import (
+    InvariantReport,
+    check_rotating_round_entry,
+    check_session_entry_rule,
+    check_single_session_leadership,
+)
+from repro.analysis.metrics import DecisionMetrics, RunMetrics, compute_run_metrics
+from repro.analysis.stats import Summary, confidence_interval, summarize
+from repro.analysis.timeline import ProcessTimeline, extract_timelines, render_timelines
+from repro.analysis.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "DecisionMetrics",
+    "InvariantReport",
+    "ProcessTimeline",
+    "RunMetrics",
+    "Summary",
+    "TraceEvent",
+    "TraceRecorder",
+    "check_rotating_round_entry",
+    "check_session_entry_rule",
+    "check_single_session_leadership",
+    "compute_run_metrics",
+    "confidence_interval",
+    "extract_timelines",
+    "render_timelines",
+    "summarize",
+]

@@ -1,0 +1,91 @@
+"""Human-readable reports for single runs.
+
+The harness returns structured :class:`repro.harness.runner.RunResult`
+objects; this module renders them as text for the CLI, the examples, and for
+debugging sessions ("why was this run slow?").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.core.timing import decision_bound
+from repro.harness.tables import render_table
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.harness.runner import RunResult
+
+__all__ = ["render_run_report"]
+
+
+def _decision_rows(result: "RunResult") -> List[List[object]]:
+    config = result.simulator.config
+    rows: List[List[object]] = []
+    for pid in range(config.n):
+        record = result.simulator.decisions.get(pid)
+        node = result.simulator.nodes[pid]
+        if record is None:
+            status = node.status.value
+            rows.append([f"p{pid}", "-", "-", status, node.incarnation])
+        else:
+            lag = record.time - config.ts
+            rows.append(
+                [f"p{pid}", repr(record.value), f"{lag:+.3f}", node.status.value, node.incarnation]
+            )
+    return rows
+
+
+def render_run_report(result: "RunResult") -> str:
+    """Render one finished run as a multi-section text report."""
+    config = result.simulator.config
+    params = config.params
+    stats = result.simulator.network.monitor.stats
+    lines: List[str] = []
+
+    lines.append(f"run report: protocol={result.protocol} scenario={result.scenario.name}")
+    lines.append(
+        f"  model: n={config.n} ts={config.ts:g} seed={config.seed} {params.describe()}"
+    )
+    if result.scenario.notes:
+        lines.append(f"  workload: {result.scenario.notes}")
+    lines.append(f"  faults: {result.scenario.fault_plan.describe()}")
+    lines.append("")
+
+    lines.append("decisions (lag is relative to TS):")
+    lines.append(
+        render_table(
+            ["process", "decided value", "lag after TS", "status", "incarnation"],
+            _decision_rows(result),
+            indent="  ",
+        )
+    )
+    lines.append("")
+
+    lag = result.max_lag_after_ts()
+    bound = decision_bound(params)
+    lag_text = f"{lag:.3f} delta" if lag is not None else "n/a (not everyone decided)"
+    lines.append(f"worst decision lag after TS : {lag_text}")
+    lines.append(f"modified-paxos bound        : {bound:.3f} delta")
+    lines.append(
+        "safety                      : "
+        + ("OK" if result.safety.valid else "; ".join(result.safety.violations))
+    )
+    for name, report in sorted(result.invariants.items()):
+        status = "OK" if report.ok else "; ".join(report.violations)
+        lines.append(f"invariant {name:18s}: {status} ({report.checked} checks)")
+    lines.append("")
+
+    lines.append(
+        f"messages: sent={stats.sent} delivered={stats.delivered} dropped={stats.dropped} "
+        f"to-crashed={stats.to_crashed} (pre-TS {stats.sent_pre_ts}, post-TS {stats.sent_post_ts})"
+    )
+    by_kind = ", ".join(f"{kind}={count}" for kind, count in sorted(stats.by_kind.items()))
+    lines.append(f"by kind : {by_kind}")
+    if result.metrics.max_session is not None:
+        lines.append(f"highest session reached     : {result.metrics.max_session}")
+    if result.metrics.max_round is not None:
+        lines.append(f"highest round reached       : {result.metrics.max_round}")
+    lines.append(
+        f"simulated time: {result.metrics.duration:.3f}  events: {result.metrics.events_processed}"
+    )
+    return "\n".join(lines)

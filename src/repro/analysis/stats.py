@@ -1,0 +1,102 @@
+"""Small statistics helpers for experiment reporting.
+
+Kept dependency-free (standard-library :mod:`statistics`) so the core
+package has no runtime requirements; :mod:`scipy` is used opportunistically
+for exact t-quantiles when it is installed (it is in the test environment).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Summary", "summarize", "confidence_interval", "percentile"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p95: float
+    maximum: float
+
+    def describe(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:.3f} median={self.median:.3f} "
+            f"p95={self.p95:.3f} max={self.maximum:.3f}"
+        )
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (``fraction`` in [0, 1])."""
+    if not values:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return float(ordered[lower])
+    weight = position - lower
+    interpolated = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    # Guard against floating-point drift pushing the result outside the sample.
+    return float(min(max(interpolated, ordered[lower]), ordered[upper]))
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Descriptive statistics of a non-empty sample."""
+    if not values:
+        raise ConfigurationError("cannot summarize an empty sample")
+    data = [float(v) for v in values]
+    return Summary(
+        count=len(data),
+        mean=statistics.fmean(data),
+        std=statistics.pstdev(data) if len(data) > 1 else 0.0,
+        minimum=min(data),
+        median=statistics.median(data),
+        p95=percentile(data, 0.95),
+        maximum=max(data),
+    )
+
+
+def _t_critical(dof: int, confidence: float) -> float:
+    try:
+        from scipy import stats as scipy_stats  # type: ignore
+
+        return float(scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
+    except Exception:  # pragma: no cover - scipy is present in the test env
+        return 1.96
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Two-sided confidence interval on the mean of a sample.
+
+    For samples of size one the interval degenerates to the single value.
+    """
+    if not values:
+        raise ConfigurationError("cannot compute a confidence interval of an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError("confidence must be in (0, 1)")
+    data = [float(v) for v in values]
+    mean = statistics.fmean(data)
+    if len(data) == 1:
+        return (mean, mean)
+    std_err = statistics.stdev(data) / math.sqrt(len(data))
+    margin = _t_critical(len(data) - 1, confidence) * std_err
+    return (mean - margin, mean + margin)

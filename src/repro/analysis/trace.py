@@ -1,0 +1,129 @@
+"""Structured execution traces.
+
+Every interesting thing that happens in a simulation — sends, deliveries,
+drops, crashes, restarts, timer firings, protocol-specific events (session
+entries, round entries, ballot bumps), and decisions — is appended to a
+:class:`TraceRecorder` as a :class:`TraceEvent`.  Post-hoc analysis
+(invariant checking, metrics, debugging) works exclusively off this trace so
+it never has to re-run or instrument the protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record.
+
+    Attributes:
+        time: Real (simulated) time of the event.
+        category: Coarse source of the event: ``"sim"``, ``"net"``,
+            ``"node"``, or ``"protocol"``.
+        event: Short event name, e.g. ``"deliver"``, ``"crash"``,
+            ``"session_enter"``, ``"decide"``.
+        pid: Process the event concerns, or ``None`` for global events.
+        fields: Free-form structured payload.
+    """
+
+    time: float
+    category: str
+    event: str
+    pid: Optional[int] = None
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        where = f"p{self.pid}" if self.pid is not None else "--"
+        payload = " ".join(f"{key}={value!r}" for key, value in sorted(self.fields.items()))
+        return f"[{self.time:10.4f}] {self.category:8s} {where:>4s} {self.event:18s} {payload}"
+
+
+class TraceRecorder:
+    """Append-only store of :class:`TraceEvent` records.
+
+    Args:
+        enabled: When False, ``record`` becomes a no-op (cheap benchmarks).
+        capacity: Optional hard cap on stored events; older events are never
+            evicted — recording simply stops and ``truncated`` becomes True.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.truncated = False
+        self._events: List[TraceEvent] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        event: str,
+        pid: Optional[int] = None,
+        **fields: Any,
+    ) -> None:
+        """Append one event (no-op when disabled or over capacity)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self.truncated = True
+            return
+        self._events.append(
+            TraceEvent(time=time, category=category, event=event, pid=pid, fields=dict(fields))
+        )
+
+    # -- queries -------------------------------------------------------------
+    def filter(
+        self,
+        event: Optional[str] = None,
+        category: Optional[str] = None,
+        pid: Optional[int] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Events matching all the given criteria, in time order."""
+        selected = []
+        for record in self._events:
+            if event is not None and record.event != event:
+                continue
+            if category is not None and record.category != category:
+                continue
+            if pid is not None and record.pid != pid:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            selected.append(record)
+        return selected
+
+    def first(self, event: str, **criteria: Any) -> Optional[TraceEvent]:
+        """Earliest event with the given name (and optional pid/category)."""
+        matches = self.filter(event=event, **criteria)
+        return matches[0] if matches else None
+
+    def last(self, event: str, **criteria: Any) -> Optional[TraceEvent]:
+        """Latest event with the given name (and optional pid/category)."""
+        matches = self.filter(event=event, **criteria)
+        return matches[-1] if matches else None
+
+    def count(self, event: str, **criteria: Any) -> int:
+        return len(self.filter(event=event, **criteria))
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (a prefix of) the trace."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [record.describe() for record in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro run --protocol modified-paxos --workload partitioned-chaos --n 7 --seed 42
+    python -m repro list-protocols
+    python -m repro experiments --scale smoke --out results/
+
+``run`` executes a single (workload, protocol) pair and prints the run
+report; ``experiments`` delegates to the campaign runner
+(:mod:`repro.harness.campaign`).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.report import render_run_report
+from repro.analysis.timeline import render_timelines
+from repro.consensus.registry import default_registry
+from repro.errors import ConfigurationError
+from repro.harness.campaign import run_campaign, write_report
+from repro.harness.runner import run_scenario
+from repro.params import TimingParams
+from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
+from repro.workloads.coordinator_faults import coordinator_crash_scenario
+from repro.workloads.obsolete import obsolete_ballot_scenario
+from repro.workloads.restarts import restart_after_stability_scenario
+from repro.workloads.scenario import Scenario
+from repro.workloads.stable import stable_scenario
+
+__all__ = ["main", "build_parser", "WORKLOADS"]
+
+
+def _build_workload(name: str, n: int, params: TimingParams, ts: Optional[float], seed: int) -> Scenario:
+    if name == "stable":
+        return stable_scenario(n, params=params, seed=seed)
+    if name == "partitioned-chaos":
+        return partitioned_chaos_scenario(n, params=params, ts=ts, seed=seed)
+    if name == "lossy-chaos":
+        return lossy_chaos_scenario(n, params=params, ts=ts, seed=seed)
+    if name == "obsolete-ballots":
+        return obsolete_ballot_scenario(n, params=params, ts=ts, seed=seed)
+    if name == "coordinator-crash":
+        return coordinator_crash_scenario(n, params=params, ts=ts, seed=seed)
+    if name == "restarts":
+        return restart_after_stability_scenario(n, params=params, ts=ts, seed=seed)
+    raise ConfigurationError(f"unknown workload {name!r}")
+
+
+WORKLOADS: List[str] = [
+    "stable",
+    "partitioned-chaos",
+    "lossy-chaos",
+    "obsolete-ballots",
+    "coordinator-crash",
+    "restarts",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'How Fast Can Eventual Synchrony Lead to Consensus?' "
+            "(Dutta, Guerraoui, Lamport, DSN 2005)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one workload with one protocol")
+    run_parser.add_argument("--protocol", default="modified-paxos")
+    run_parser.add_argument("--workload", choices=WORKLOADS, default="partitioned-chaos")
+    run_parser.add_argument("--n", type=int, default=7, help="number of processes")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--ts", type=float, default=None,
+                            help="stabilization time (defaults per workload)")
+    run_parser.add_argument("--delta", type=float, default=1.0)
+    run_parser.add_argument("--epsilon", type=float, default=0.5)
+    run_parser.add_argument("--rho", type=float, default=0.01)
+    run_parser.add_argument("--allow-unsafe", action="store_true",
+                            help="report safety violations instead of raising")
+    run_parser.add_argument("--timeline", action="store_true",
+                            help="also print a per-process timeline of the run")
+
+    subparsers.add_parser("list-protocols", help="list registered protocols")
+
+    experiments_parser = subparsers.add_parser(
+        "experiments", help="run the experiment campaign (E1-E9)"
+    )
+    experiments_parser.add_argument("--scale", choices=("smoke", "full"), default="smoke")
+    experiments_parser.add_argument("--out", default="results")
+    experiments_parser.add_argument(
+        "--experiment", action="append", dest="experiments",
+        help="run only this experiment id (repeatable)",
+    )
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    params = TimingParams(delta=args.delta, rho=args.rho, epsilon=args.epsilon)
+    registry = default_registry()
+    if args.protocol not in registry:
+        print(f"unknown protocol {args.protocol!r}; available: {', '.join(registry.names())}")
+        return 2
+    scenario = _build_workload(args.workload, args.n, params, args.ts, args.seed)
+    result = run_scenario(
+        scenario,
+        args.protocol,
+        registry=registry,
+        enforce_safety=not args.allow_unsafe,
+        enforce_invariants=not args.allow_unsafe,
+    )
+    print(render_run_report(result))
+    if args.timeline:
+        print()
+        print("per-process timeline:")
+        print(render_timelines(result.simulator.trace, scenario.config.n, ts=scenario.config.ts))
+    return 0 if result.safety.valid else 1
+
+
+def _command_list_protocols(_args: argparse.Namespace) -> int:
+    registry = default_registry()
+    for name in registry.names():
+        print(name)
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    result = run_campaign(scale=args.scale, experiments=args.experiments, progress=print)
+    report = write_report(result, args.out)
+    print(f"wrote {report}")
+    return 0
+
+
+_COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "run": _command_run,
+    "list-protocols": _command_list_protocols,
+    "experiments": _command_experiments,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised through __main__
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+"""Messages and payloads of the B-Consensus family."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.message import Message
+
+__all__ = ["ABSTAIN", "FirstPayload", "Vote", "BDecision"]
+
+ABSTAIN = "<abstain>"
+"""Stage-2 vote of a process whose stage-1 sample was not unanimous."""
+
+
+@dataclass(frozen=True)
+class FirstPayload:
+    """Stage-1 payload carried by the weak ordering oracle.
+
+    This is not a network message itself: it rides inside a
+    :class:`repro.oracle.wab.WabMessage`.
+    """
+
+    round: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Vote(Message):
+    """Stage-2 vote, sent over plain channels.
+
+    ``vote`` is either a proposed value (the sender's stage-1 sample was
+    unanimous for it) or :data:`ABSTAIN`.
+    """
+
+    kind = "bvote"
+
+    round: int
+    vote: Any
+
+
+@dataclass(frozen=True)
+class BDecision(Message):
+    """Decision announcement."""
+
+    kind = "bdecision"
+
+    value: Any

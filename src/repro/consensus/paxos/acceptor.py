@@ -1,0 +1,82 @@
+"""The acceptor role of single-decree Paxos.
+
+Factored out of the process class so the promise/accept rules can be unit
+tested exhaustively (they carry all of Paxos's safety) and shared between
+the traditional baseline and any future variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Optional, Tuple
+
+__all__ = ["AcceptorState", "PrepareOutcome", "AcceptOutcome"]
+
+
+class PrepareOutcome(Enum):
+    """Result of handling a phase 1a (prepare) message."""
+
+    PROMISED = "promised"
+    REJECTED = "rejected"
+
+
+class AcceptOutcome(Enum):
+    """Result of handling a phase 2a (accept request) message."""
+
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+
+
+@dataclass
+class AcceptorState:
+    """Durable acceptor state: promised ballot and last vote.
+
+    Attributes:
+        mbal: Highest ballot promised (never accept anything lower).
+        abal: Highest ballot in which a value was accepted (−1 if none).
+        aval: The value accepted in ``abal`` (None if none).
+    """
+
+    mbal: int
+    abal: int = -1
+    aval: Any = None
+
+    def handle_prepare(self, ballot: int) -> PrepareOutcome:
+        """Apply a phase 1a with the given ballot.
+
+        Promises on ``ballot >= mbal`` (the equality case lets a ballot's
+        owner count its own promise) and rejects on lower ballots.
+        """
+        if ballot >= self.mbal:
+            self.mbal = ballot
+            return PrepareOutcome.PROMISED
+        return PrepareOutcome.REJECTED
+
+    def handle_accept(self, ballot: int, value: Any) -> AcceptOutcome:
+        """Apply a phase 2a: accept iff the ballot is at least the promise."""
+        if ballot >= self.mbal:
+            self.mbal = ballot
+            self.abal = ballot
+            self.aval = value
+            return AcceptOutcome.ACCEPTED
+        return AcceptOutcome.REJECTED
+
+    @property
+    def last_vote(self) -> Tuple[int, Any]:
+        """The (ballot, value) of the last accepted proposal (−1, None if none)."""
+        return (self.abal, self.aval)
+
+    # -- persistence ------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {"mbal": self.mbal, "abal": self.abal, "aval": self.aval}
+
+    @classmethod
+    def restore(cls, snapshot: Optional[dict], default_mbal: int) -> "AcceptorState":
+        if not snapshot:
+            return cls(mbal=default_mbal)
+        return cls(
+            mbal=snapshot.get("mbal", default_mbal),
+            abal=snapshot.get("abal", -1),
+            aval=snapshot.get("aval"),
+        )

@@ -1,0 +1,84 @@
+"""Traditional Paxos driven by a heartbeat-based (message-only) Ω.
+
+Identical to :class:`repro.consensus.paxos.traditional.TraditionalPaxosProcess`
+except that leadership comes from a :class:`repro.oracle.heartbeat.HeartbeatElector`
+owned by the process itself instead of the omniscient oracle.  This removes
+the last bit of omniscience from the baseline and lets the experiments show
+how much a real election adds to the post-stabilization decision time
+(roughly one heartbeat timeout).
+"""
+
+from __future__ import annotations
+
+from repro.consensus.base import ProtocolBuilder
+from repro.consensus.paxos.traditional import TraditionalPaxosProcess
+from repro.net.message import Message
+from repro.oracle.heartbeat import HeartbeatElector
+
+__all__ = ["HeartbeatPaxosProcess", "HeartbeatPaxosBuilder"]
+
+
+class _ElectorAdapter:
+    """Adapts :class:`HeartbeatElector` to the oracle interface Paxos expects."""
+
+    def __init__(self) -> None:
+        self.elector: HeartbeatElector | None = None
+
+    def bind(self, elector: HeartbeatElector) -> None:
+        self.elector = elector
+
+    def leader(self, querying_pid: int) -> int:
+        if self.elector is None:
+            return querying_pid
+        return self.elector.leader(querying_pid)
+
+    def believes_self_leader(self, pid: int) -> bool:
+        if self.elector is None:
+            return False
+        return self.elector.believes_self_leader(pid)
+
+
+class HeartbeatPaxosProcess(TraditionalPaxosProcess):
+    """Traditional Paxos whose Ω is implemented with heartbeats."""
+
+    def __init__(self, retry_factor: float = 2.0, heartbeat_timeout_factor: float = 2.5) -> None:
+        self._adapter = _ElectorAdapter()
+        super().__init__(oracle=self._adapter, retry_factor=retry_factor)
+        self.heartbeat_timeout_factor = heartbeat_timeout_factor
+
+    def on_start(self) -> None:
+        self.elector = HeartbeatElector(
+            self.ctx, timeout_factor=self.heartbeat_timeout_factor
+        )
+        self._adapter.bind(self.elector)
+        self.elector.start()
+        super().on_start()
+
+    def on_timer(self, name: str) -> None:
+        if self.elector.handles_timer(name):
+            self.elector.on_timer(name)
+            return
+        super().on_timer(name)
+
+    def on_message(self, message: Message, sender: int) -> None:
+        if self.elector.handles_message(message):
+            self.elector.on_message(message)
+            return
+        super().on_message(message, sender)
+
+
+class HeartbeatPaxosBuilder(ProtocolBuilder):
+    """Builds heartbeat-driven traditional Paxos processes (no shared oracle)."""
+
+    name = "traditional-paxos-heartbeat"
+
+    def __init__(self, retry_factor: float = 2.0, heartbeat_timeout_factor: float = 2.5) -> None:
+        super().__init__()
+        self.retry_factor = retry_factor
+        self.heartbeat_timeout_factor = heartbeat_timeout_factor
+
+    def create(self, pid: int) -> HeartbeatPaxosProcess:
+        return HeartbeatPaxosProcess(
+            retry_factor=self.retry_factor,
+            heartbeat_timeout_factor=self.heartbeat_timeout_factor,
+        )

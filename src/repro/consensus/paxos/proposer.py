@@ -1,0 +1,89 @@
+"""The proposer (leader) role of single-decree Paxos.
+
+Tracks the current ballot attempt, collects promises, applies the value
+selection rule, and picks the next ballot after a rejection.  Kept free of
+any I/O so the ballot arithmetic and the value rule can be tested directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = ["ProposerAttempt", "ProposerState"]
+
+
+@dataclass
+class ProposerAttempt:
+    """One ballot attempt by a proposer."""
+
+    ballot: int
+    started_local: float
+    promises: Dict[int, Tuple[int, Any]] = field(default_factory=dict)
+    phase2a_sent: bool = False
+
+    def record_promise(self, sender: int, voted_bal: int, voted_val: Any) -> None:
+        self.promises.setdefault(sender, (voted_bal, voted_val))
+
+    def promise_count(self) -> int:
+        return len(self.promises)
+
+    def choose_value(self, own_proposal: Any) -> Any:
+        """Paxos value rule: highest-ballot vote among promises, else own proposal."""
+        voted = [(bal, val) for bal, val in self.promises.values() if bal >= 0]
+        if not voted:
+            return own_proposal
+        return max(voted, key=lambda item: item[0])[1]
+
+
+class ProposerState:
+    """Ballot management for one proposer.
+
+    Args:
+        pid: The proposer's process id (ballots must be ≡ pid mod n).
+        n: Number of processes.
+    """
+
+    def __init__(self, pid: int, n: int) -> None:
+        self.pid = pid
+        self.n = n
+        self.highest_seen = -1
+        self.attempt: Optional[ProposerAttempt] = None
+        self.attempts_started = 0
+
+    def observe_ballot(self, ballot: int) -> None:
+        """Remember a ballot seen anywhere (promise, rejection, old message)."""
+        self.highest_seen = max(self.highest_seen, ballot)
+
+    def next_ballot(self) -> int:
+        """Smallest ballot owned by this proposer above everything seen so far."""
+        floor = self.highest_seen + 1
+        remainder = floor % self.n
+        if remainder == self.pid % self.n:
+            return floor
+        return floor + (self.pid - remainder) % self.n
+
+    def start_attempt(self, started_local: float) -> ProposerAttempt:
+        """Begin a new ballot attempt and return it."""
+        ballot = self.next_ballot()
+        if self.attempt is not None and ballot <= self.attempt.ballot:
+            raise ProtocolError(
+                f"proposer {self.pid} computed non-increasing ballot "
+                f"{ballot} <= {self.attempt.ballot}"
+            )
+        self.observe_ballot(ballot)
+        self.attempt = ProposerAttempt(ballot=ballot, started_local=started_local)
+        self.attempts_started += 1
+        return self.attempt
+
+    def current_ballot(self) -> Optional[int]:
+        return self.attempt.ballot if self.attempt is not None else None
+
+    def is_current(self, ballot: int) -> bool:
+        return self.attempt is not None and self.attempt.ballot == ballot
+
+    def abandon(self) -> None:
+        """Drop the current attempt (after a rejection or leadership loss)."""
+        self.attempt = None

@@ -1,0 +1,67 @@
+"""Registry mapping protocol names to builder classes.
+
+The harness, the comparison experiment (E8), and the examples all construct
+protocols by name through this registry so new protocols only need to be
+added in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Type
+
+from repro.consensus.base import ProtocolBuilder
+from repro.errors import ConfigurationError
+
+__all__ = ["ProtocolRegistry", "default_registry"]
+
+BuilderFactory = Callable[..., ProtocolBuilder]
+
+
+class ProtocolRegistry:
+    """Name → builder-factory mapping with helpful error messages."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, BuilderFactory] = {}
+
+    def register(self, name: str, factory: BuilderFactory) -> None:
+        if name in self._factories:
+            raise ConfigurationError(f"protocol {name!r} registered twice")
+        self._factories[name] = factory
+
+    def names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def create(self, name: str, **kwargs) -> ProtocolBuilder:
+        """Instantiate the builder registered under ``name``."""
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown protocol {name!r}; available: {', '.join(self.names())}"
+            )
+        return factory(**kwargs)
+
+
+def default_registry() -> ProtocolRegistry:
+    """Registry pre-populated with every protocol in this repository.
+
+    Imports happen lazily so importing :mod:`repro.consensus` does not pull
+    in every protocol module.
+    """
+    from repro.consensus.bconsensus.modified import ModifiedBConsensusBuilder
+    from repro.consensus.bconsensus.original import BConsensusBuilder
+    from repro.consensus.paxos.heartbeat_paxos import HeartbeatPaxosBuilder
+    from repro.consensus.paxos.traditional import TraditionalPaxosBuilder
+    from repro.consensus.roundbased.rotating import RotatingCoordinatorBuilder
+    from repro.core.modified_paxos import ModifiedPaxosBuilder
+
+    registry = ProtocolRegistry()
+    registry.register(ModifiedPaxosBuilder.name, ModifiedPaxosBuilder)
+    registry.register(TraditionalPaxosBuilder.name, TraditionalPaxosBuilder)
+    registry.register(HeartbeatPaxosBuilder.name, HeartbeatPaxosBuilder)
+    registry.register(RotatingCoordinatorBuilder.name, RotatingCoordinatorBuilder)
+    registry.register(BConsensusBuilder.name, BConsensusBuilder)
+    registry.register(ModifiedBConsensusBuilder.name, ModifiedBConsensusBuilder)
+    return registry

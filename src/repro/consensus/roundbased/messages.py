@@ -1,0 +1,62 @@
+"""Messages of the rotating-coordinator round-based algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.message import Message
+
+__all__ = ["StartRound", "Propose", "Ack", "RoundDecision", "round_of"]
+
+
+@dataclass(frozen=True)
+class StartRound(Message):
+    """Broadcast by a process when it enters a round.
+
+    Carries the sender's current estimate and the round in which that
+    estimate was adopted (``adopted_in``, −1 if never adopted from a
+    coordinator).  The round's coordinator uses these as the phase-1
+    estimates; everyone uses them as evidence for the majority-round-entry
+    rule.
+    """
+
+    kind = "start_round"
+
+    round: int
+    estimate: Any
+    adopted_in: int
+
+
+@dataclass(frozen=True)
+class Propose(Message):
+    """The coordinator's proposal for its round."""
+
+    kind = "propose"
+
+    round: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Ack(Message):
+    """Broadcast by a process that adopted the coordinator's proposal."""
+
+    kind = "ack"
+
+    round: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class RoundDecision(Message):
+    """Decision announcement."""
+
+    kind = "round_decision"
+
+    value: Any
+
+
+def round_of(message: Message) -> int:
+    """The round a message belongs to (−1 for decision announcements)."""
+    return getattr(message, "round", -1)

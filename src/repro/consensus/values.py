@@ -1,0 +1,83 @@
+"""Outcome records shared by the spec, the metrics, and the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["DecisionOutcome", "RunOutcome"]
+
+
+@dataclass(frozen=True)
+class DecisionOutcome:
+    """The decision of one process, as seen at the end of a run."""
+
+    pid: int
+    value: Any
+    time: float
+    after_stability: float
+
+    @property
+    def decided_before_stability(self) -> bool:
+        return self.after_stability < 0
+
+
+@dataclass
+class RunOutcome:
+    """Everything a finished run exposes to analysis and reporting.
+
+    Built by :mod:`repro.harness.runner`; consumed by the metrics, the
+    safety spec, and the experiment tables.
+    """
+
+    protocol: str
+    n: int
+    ts: float
+    delta: float
+    seed: int
+    decisions: List[DecisionOutcome] = field(default_factory=list)
+    proposals: Dict[int, Any] = field(default_factory=dict)
+    undecided_pids: List[int] = field(default_factory=list)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    duration: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def all_decided(self) -> bool:
+        return not self.undecided_pids
+
+    @property
+    def decided_values(self) -> List[Any]:
+        return [decision.value for decision in self.decisions]
+
+    def decision_of(self, pid: int) -> Optional[DecisionOutcome]:
+        for decision in self.decisions:
+            if decision.pid == pid:
+                return decision
+        return None
+
+    def max_decision_after_stability(self, pids: Optional[List[int]] = None) -> Optional[float]:
+        """Worst decision lag after ``TS`` over the given pids (default: all deciders).
+
+        A process that decided before ``TS`` contributes 0 (it cannot make
+        the post-stability lag worse).  Returns None if no relevant process
+        decided.
+        """
+        relevant = [
+            decision
+            for decision in self.decisions
+            if pids is None or decision.pid in pids
+        ]
+        if not relevant:
+            return None
+        return max(max(0.0, decision.after_stability) for decision in relevant)
+
+    def describe(self) -> str:
+        decided = len(self.decisions)
+        lag = self.max_decision_after_stability()
+        lag_text = f"{lag:.3f}" if lag is not None else "n/a"
+        return (
+            f"{self.protocol}: n={self.n} decided={decided}/{self.n} "
+            f"max-lag-after-TS={lag_text} msgs={self.messages_sent}"
+        )

@@ -1,0 +1,86 @@
+"""Message types of (Modified) Paxos.
+
+The message vocabulary is the classic Paxos one; the Modified Paxos of
+Section 4 drops the ``rejected`` message (made unnecessary by timeouts) and
+the traditional baseline of Section 2 keeps it.  Both algorithms share the
+phase 1/2 messages defined here so the analysis can treat them uniformly.
+
+Every message carries the sender's ballot in ``mbal``; the session of a
+message is derived from it (``⌊mbal/N⌋``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.message import Message
+
+__all__ = ["Phase1a", "Phase1b", "Phase2a", "Phase2b", "Rejected", "Decision", "ballot_of"]
+
+
+@dataclass(frozen=True)
+class Phase1a(Message):
+    """"Prepare": announces ballot ``mbal`` on behalf of its owner."""
+
+    kind = "phase1a"
+
+    mbal: int
+
+
+@dataclass(frozen=True)
+class Phase1b(Message):
+    """"Promise": reply to a phase 1a, carrying the sender's last vote.
+
+    ``voted_bal`` is the highest ballot in which the sender accepted a value
+    (−1 if none) and ``voted_val`` the corresponding value.
+    """
+
+    kind = "phase1b"
+
+    mbal: int
+    voted_bal: int
+    voted_val: Any
+
+
+@dataclass(frozen=True)
+class Phase2a(Message):
+    """"Accept request": the ballot owner asks acceptors to accept ``value``."""
+
+    kind = "phase2a"
+
+    mbal: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Phase2b(Message):
+    """"Accepted": the sender accepted ``value`` in ballot ``mbal``."""
+
+    kind = "phase2b"
+
+    mbal: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class Rejected(Message):
+    """Traditional Paxos only: tells a proposer its ballot is too low."""
+
+    kind = "rejected"
+
+    mbal: int
+
+
+@dataclass(frozen=True)
+class Decision(Message):
+    """Decision announcement (the stop-the-algorithm optimization)."""
+
+    kind = "decision"
+
+    value: Any
+
+
+def ballot_of(message: Message) -> int:
+    """The ballot a Paxos message refers to (−1 for decision announcements)."""
+    return getattr(message, "mbal", -1)

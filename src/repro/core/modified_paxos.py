@@ -1,0 +1,256 @@
+"""Modified Paxos (Section 4): leaderless, session-based, O(δ)-after-stability.
+
+The algorithm is single-decree Paxos with three changes:
+
+1. **Sessions.**  Ballot ``b`` belongs to session ``⌊b/N⌋``.  A process may
+   execute Start Phase 1 — jumping to the unique ballot it owns in the next
+   session — only when (i) its session timer has expired and (ii) it is in
+   session 0 or has received a message of its current session from a
+   majority of processes.  This is the round-based trick that prevents
+   anomalously high ballots: no matter what happened before stabilization,
+   in-flight and crashed-process ballots can exceed the highest non-faulty
+   session by at most one.
+
+2. **Session-entry broadcasts.**  Whenever a process enters a new session it
+   broadcasts a phase 1a message carrying its current ballot, so session
+   announcements flood the system within one message delay.
+
+3. **ε keep-alive.**  A process that has not sent a phase 1a or 2a message
+   within the last ``ε`` re-broadcasts a phase 1a with its current ballot.
+   After stabilization this restores communication within ``ε + δ`` even if
+   every earlier message was lost.
+
+There is no leader-election oracle and no ``rejected`` message; timeouts do
+all the driving.  The session timer is armed for at least ``4δ`` real
+seconds (programmed as ``4δ(1+ρ)`` local), so once a "clean" session starts
+after stabilization it has time to finish before anyone interrupts it.
+
+Decision announcements implement the optimization the paper mentions: a
+decided process stops executing the algorithm, answers every protocol
+message with its decision, and periodically re-broadcasts it so restarted
+processes catch up within ``O(δ)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.consensus.base import ConsensusProcess, ProtocolBuilder
+from repro.consensus.quorum import ValueQuorum
+from repro.core.messages import (
+    Decision,
+    Phase1a,
+    Phase1b,
+    Phase2a,
+    Phase2b,
+    ballot_of,
+)
+from repro.core.sessions import (
+    SessionTracker,
+    initial_ballot,
+    next_session_ballot,
+    owner_of,
+    session_of,
+)
+from repro.net.message import Message
+
+__all__ = ["ModifiedPaxosProcess", "ModifiedPaxosBuilder"]
+
+
+class ModifiedPaxosProcess(ConsensusProcess):
+    """One process of the Modified Paxos algorithm."""
+
+    SESSION_TIMER = "session"
+    KEEPALIVE_TIMER = "keepalive"
+
+    # ------------------------------------------------------------------ lifecycle
+    def on_start(self) -> None:
+        n = self.n
+        # Volatile state (rebuilt on every incarnation).
+        self._tracker = SessionTracker(n)
+        self._promises: Dict[int, Dict[int, Tuple[int, Any]]] = {}
+        self._accept_votes = ValueQuorum(self.quorum)
+        self._phase2a_sent: set[int] = set()
+        self._session_timer_expired = False
+        self._sent_recently = False
+
+        if self.recover_decision():
+            # A previous incarnation already decided; keep announcing it.
+            self._broadcast_decision()
+            self._arm_keepalive()
+            return
+
+        # Durable Paxos state (the paper keeps it in stable storage).
+        self.mbal: int = self.recall("mbal", initial_ballot(self.pid, n))
+        self.abal: int = self.recall("abal", -1)
+        self.aval: Any = self.recall("aval", None)
+
+        self.ctx.emit("session_enter", session=self.session, ballot=self.mbal, via="start")
+        self._broadcast_phase1a()
+        self._arm_session_timer()
+        self._arm_keepalive()
+
+    @property
+    def session(self) -> int:
+        """The session this process is currently in (``⌊mbal/N⌋``)."""
+        return session_of(self.mbal, self.n)
+
+    # ------------------------------------------------------------------ timers
+    def on_timer(self, name: str) -> None:
+        if name == self.SESSION_TIMER:
+            self._session_timer_expired = True
+            self._try_start_phase1()
+        elif name == self.KEEPALIVE_TIMER:
+            self._on_keepalive()
+
+    def _arm_session_timer(self) -> None:
+        self.ctx.set_timer(self.SESSION_TIMER, self.ctx.params.session_timeout_local)
+        self._session_timer_expired = False
+
+    def _arm_keepalive(self) -> None:
+        # Once decided, the keep-alive degrades into a slower decision
+        # re-broadcast; before that it enforces the ε rule.
+        period = self.delta if self.has_decided else self.epsilon
+        self.ctx.set_timer(self.KEEPALIVE_TIMER, period * (1.0 + self.rho))
+
+    def _on_keepalive(self) -> None:
+        if self.has_decided:
+            self._broadcast_decision()
+        elif not self._sent_recently:
+            # The ε rule: no phase 1a/2a went out during the last interval.
+            self._broadcast_phase1a()
+        self._sent_recently = False
+        self._arm_keepalive()
+
+    # ------------------------------------------------------------------ messages
+    def on_message(self, message: Message, sender: int) -> None:
+        if isinstance(message, Decision):
+            self.decide_once(message.value)
+            return
+        if self.has_decided:
+            # Stopped executing the algorithm: answer with the decision.
+            self.ctx.send(Decision(value=self.decided_value), sender)
+            return
+
+        ballot = ballot_of(message)
+        if ballot >= 0:
+            self._tracker.observe(ballot, sender)
+
+        if isinstance(message, Phase1a):
+            self._on_phase1a(message)
+        elif isinstance(message, Phase1b):
+            self._on_phase1b(message, sender)
+        elif isinstance(message, Phase2a):
+            self._on_phase2a(message)
+        elif isinstance(message, Phase2b):
+            self._on_phase2b(message, sender)
+        # A newly satisfied majority condition may enable a pending Start Phase 1.
+        self._try_start_phase1()
+
+    # -- phase 1 -----------------------------------------------------------------
+    def _on_phase1a(self, message: Phase1a) -> None:
+        if message.mbal > self.mbal:
+            self._advance_ballot(message.mbal, via="phase1a")
+        if message.mbal >= self.mbal:
+            # Promise to the ballot's owner.  Responding on equality (rather
+            # than the paper's strict inequality) lets the owner count its own
+            # promise, which is necessary when only a bare majority is alive;
+            # it is safe because the promise constraint (mbal >= message.mbal)
+            # already holds.
+            owner = owner_of(message.mbal, self.n)
+            self.ctx.send(
+                Phase1b(mbal=message.mbal, voted_bal=self.abal, voted_val=self.aval), owner
+            )
+
+    def _on_phase1b(self, message: Phase1b, sender: int) -> None:
+        if owner_of(message.mbal, self.n) != self.pid:
+            return
+        if message.mbal != self.mbal or message.mbal in self._phase2a_sent:
+            return
+        votes = self._promises.setdefault(message.mbal, {})
+        votes.setdefault(sender, (message.voted_bal, message.voted_val))
+        if len(votes) >= self.quorum:
+            self._send_phase2a(message.mbal, votes)
+
+    def _send_phase2a(self, ballot: int, votes: Dict[int, Tuple[int, Any]]) -> None:
+        voted = [(bal, val) for bal, val in votes.values() if bal >= 0]
+        if voted:
+            _, value = max(voted, key=lambda item: item[0])
+        else:
+            value = self.proposal()
+        self._phase2a_sent.add(ballot)
+        self.ctx.emit("phase2a", ballot=ballot, session=session_of(ballot, self.n), value=value)
+        self._sent_recently = True
+        self.ctx.broadcast(Phase2a(mbal=ballot, value=value))
+
+    # -- phase 2 --------------------------------------------------------------------
+    def _on_phase2a(self, message: Phase2a) -> None:
+        if message.mbal < self.mbal:
+            return
+        if message.mbal > self.mbal:
+            self._advance_ballot(message.mbal, via="phase2a")
+        self.abal = message.mbal
+        self.aval = message.value
+        self.persist(mbal=self.mbal, abal=self.abal, aval=self.aval)
+        self.ctx.broadcast(Phase2b(mbal=message.mbal, value=message.value))
+
+    def _on_phase2b(self, message: Phase2b, sender: int) -> None:
+        self._accept_votes.add(message.mbal, sender, message.value)
+        if self._accept_votes.reached(message.mbal):
+            value = self._accept_votes.quorum_value(message.mbal)
+            if value is not None:
+                self.decide_once(value)
+                self._broadcast_decision()
+
+    # -- Start Phase 1 ------------------------------------------------------------------
+    def _try_start_phase1(self) -> None:
+        if self.has_decided or not self._session_timer_expired:
+            return
+        if self.session > 0 and not self._tracker.heard_majority_in(self.session):
+            return
+        new_ballot = next_session_ballot(self.mbal, self.pid, self.n)
+        self.ctx.emit(
+            "start_phase1",
+            ballot=new_ballot,
+            session=session_of(new_ballot, self.n),
+            previous_session=self.session,
+        )
+        self._advance_ballot(new_ballot, via="start_phase1")
+
+    # -- ballot/session bookkeeping ----------------------------------------------------------
+    def _advance_ballot(self, new_ballot: int, via: str) -> None:
+        old_session = self.session
+        self.mbal = new_ballot
+        self.persist(mbal=self.mbal, abal=self.abal, aval=self.aval)
+        if session_of(new_ballot, self.n) > old_session:
+            self._enter_session(via)
+
+    def _enter_session(self, via: str) -> None:
+        session = self.session
+        self._tracker.prune_below(session)
+        self._session_timer_expired = False
+        self.ctx.emit("session_enter", session=session, ballot=self.mbal, via=via)
+        self._arm_session_timer()
+        self._broadcast_phase1a()
+
+    # -- sends -------------------------------------------------------------------------------------
+    def _broadcast_phase1a(self) -> None:
+        self._sent_recently = True
+        self.ctx.broadcast(Phase1a(mbal=self.mbal))
+
+    def _broadcast_decision(self) -> None:
+        self.ctx.broadcast(Decision(value=self.decided_value), include_self=False)
+
+
+class ModifiedPaxosBuilder(ProtocolBuilder):
+    """Builds :class:`ModifiedPaxosProcess` instances (no oracles needed)."""
+
+    name = "modified-paxos"
+
+    def create(self, pid: int) -> ModifiedPaxosProcess:
+        return ModifiedPaxosProcess()
+
+    def invariant_checks(self):
+        from repro.analysis.invariants import check_session_entry_rule
+
+        return {"session-entry-rule": check_session_entry_rule}

@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every exception raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime model
+violations (the latter usually indicate a protocol bug and are what the
+safety monitors raise).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "SchedulingError",
+    "ProcessStateError",
+    "NetworkError",
+    "StorageError",
+    "ProtocolError",
+    "SafetyViolation",
+    "ValidityViolation",
+    "AgreementViolation",
+    "IntegrityViolation",
+    "InvariantViolation",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A user-supplied parameter is out of range or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel reached an inconsistent internal state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or cancelled twice."""
+
+
+class ProcessStateError(SimulationError):
+    """A process lifecycle operation was invalid (e.g. crash while crashed)."""
+
+
+class NetworkError(ReproError):
+    """The network substrate was used incorrectly."""
+
+
+class StorageError(ReproError):
+    """Stable storage was accessed incorrectly."""
+
+
+class ProtocolError(ReproError):
+    """A protocol implementation broke its own rules at run time."""
+
+
+class SafetyViolation(ReproError):
+    """Base class for consensus safety violations detected by the spec."""
+
+
+class ValidityViolation(SafetyViolation):
+    """A decided value was never proposed by any process."""
+
+
+class AgreementViolation(SafetyViolation):
+    """Two processes decided different values."""
+
+
+class IntegrityViolation(SafetyViolation):
+    """A process decided more than once (with different values)."""
+
+
+class InvariantViolation(SafetyViolation):
+    """A protocol-specific invariant was violated (e.g. session-entry rule)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or sweep was configured incorrectly."""

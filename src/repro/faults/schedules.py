@@ -1,0 +1,78 @@
+"""Common fault schedules used by workloads and experiments."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.sim.rng import SeededRng
+
+__all__ = ["crash_forever", "crash_before_stability", "staggered_restarts"]
+
+
+def crash_forever(pids: Sequence[int], time: float) -> FaultPlan:
+    """Crash the given processes at ``time`` and never restart them.
+
+    The caller is responsible for leaving a majority up (``validate`` will
+    check when a ``ts`` is supplied).
+    """
+    plan = FaultPlan()
+    for pid in pids:
+        plan.crash(pid, time)
+    return plan
+
+
+def crash_before_stability(
+    n: int,
+    ts: float,
+    rng: SeededRng,
+    max_faulty: Optional[int] = None,
+    allow_recovery: bool = True,
+) -> FaultPlan:
+    """Random crashes (and optional recoveries) strictly before ``ts``.
+
+    At most ``max_faulty`` processes (default: one less than a majority) are
+    ever crashed, so the generated plan always satisfies the model: crashes
+    happen before ``ts`` and a majority of processes is up at ``ts``.  When
+    ``allow_recovery`` is True, roughly half of the crashed processes are
+    restarted before ``ts`` (exercising the restart-with-stable-storage
+    path); the rest stay down forever, which the model permits as long as a
+    majority is up.
+    """
+    if ts <= 0:
+        raise ConfigurationError("crash_before_stability needs ts > 0")
+    majority = n // 2 + 1
+    limit = max_faulty if max_faulty is not None else max(0, n - majority)
+    limit = min(limit, n - majority)
+    plan = FaultPlan()
+    if limit <= 0 or n < 2:
+        return plan
+    victims = rng.pick_subset(list(range(n)), size=limit)
+    for pid in victims:
+        crash_time = rng.uniform(0.05 * ts, 0.6 * ts)
+        plan.crash(pid, crash_time)
+        if allow_recovery and rng.coin(0.5):
+            restart_time = rng.uniform(min(crash_time + 0.01, 0.95 * ts), 0.95 * ts)
+            plan.restart(pid, max(restart_time, crash_time + 0.01))
+    return plan
+
+
+def staggered_restarts(
+    pids: Sequence[int],
+    crash_time: float,
+    first_restart: float,
+    spacing: float,
+) -> FaultPlan:
+    """Crash ``pids`` at ``crash_time`` and restart them one by one.
+
+    Restarts happen at ``first_restart``, ``first_restart + spacing``, ... in
+    the order given.  Used by the restart-recovery experiment (E5).
+    """
+    if spacing < 0:
+        raise ConfigurationError("spacing must be non-negative")
+    plan = FaultPlan()
+    for index, pid in enumerate(pids):
+        plan.crash(pid, crash_time)
+        plan.restart(pid, first_restart + index * spacing)
+    return plan

@@ -1,0 +1,14 @@
+"""Experiment harness: run scenarios, sweep parameters, render tables."""
+
+from repro.harness.runner import RunResult, run_scenario
+from repro.harness.sweep import SweepResult, sweep
+from repro.harness.tables import ExperimentTable, render_table
+
+__all__ = [
+    "ExperimentTable",
+    "RunResult",
+    "SweepResult",
+    "render_table",
+    "run_scenario",
+    "sweep",
+]

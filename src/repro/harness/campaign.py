@@ -1,0 +1,179 @@
+"""Run the full experiment campaign and write a report.
+
+This is the "regenerate everything" entry point::
+
+    python -m repro.harness.campaign --scale full --out results/
+
+It runs experiments E1–E9 at the requested scale, writes each regenerated
+table to ``<out>/E*.txt``, and produces a combined Markdown report
+(``<out>/experiments_report.md``) with the analytic bounds next to the
+measured values — the same material EXPERIMENTS.md records for the checked-in
+reference run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.harness.comparison import experiment_e8_protocol_comparison
+from repro.harness.experiments import (
+    default_experiment_params,
+    experiment_e1_modified_paxos_scaling,
+    experiment_e2_traditional_obsolete,
+    experiment_e3_rotating_coordinator,
+    experiment_e4_modified_bconsensus,
+    experiment_e5_restart_recovery,
+    experiment_e6_epsilon_tradeoff,
+    experiment_e7_stable_case,
+    experiment_e9_smr_stable_case,
+)
+from repro.harness.tables import ExperimentTable
+
+__all__ = ["CampaignResult", "campaign_plan", "run_campaign", "write_report"]
+
+ExperimentFn = Callable[[], ExperimentTable]
+
+
+@dataclass
+class CampaignResult:
+    """All regenerated tables plus timing information."""
+
+    scale: str
+    tables: List[ExperimentTable] = field(default_factory=list)
+    durations: Dict[str, float] = field(default_factory=dict)
+
+    def table(self, experiment: str) -> ExperimentTable:
+        for table in self.tables:
+            if table.experiment == experiment:
+                return table
+        raise KeyError(experiment)
+
+
+def campaign_plan(scale: str = "full") -> Dict[str, ExperimentFn]:
+    """The experiments to run, sized for ``scale`` ("smoke" or "full").
+
+    The smoke scale exists so tests (and impatient users) can exercise the
+    whole campaign path in seconds; the full scale matches the benchmark
+    suite and EXPERIMENTS.md.
+    """
+    params = default_experiment_params()
+    if scale == "smoke":
+        return {
+            "E1": lambda: experiment_e1_modified_paxos_scaling(ns=(3, 5), seeds=(1,), params=params),
+            "E2": lambda: experiment_e2_traditional_obsolete(ns=(5, 7), seeds=(1,), params=params),
+            "E3": lambda: experiment_e3_rotating_coordinator(
+                n=7, faulty_counts=(0, 2), seeds=(1,), params=params
+            ),
+            "E4": lambda: experiment_e4_modified_bconsensus(ns=(3, 5), seeds=(1,), params=params),
+            "E5": lambda: experiment_e5_restart_recovery(
+                n=5, offsets=(5.0, 15.0), seeds=(1,), params=params
+            ),
+            "E6": lambda: experiment_e6_epsilon_tradeoff(
+                n=5, epsilons=(0.25, 1.0), seeds=(1,), base_params=params
+            ),
+            "E7": lambda: experiment_e7_stable_case(n=5, seeds=(1,), params=params),
+            "E8": lambda: experiment_e8_protocol_comparison(ns=(5,), seeds=(1,), params=params),
+            "E9": lambda: experiment_e9_smr_stable_case(
+                n=5, stable_commands=6, chaos_commands=3, params=params
+            ),
+        }
+    if scale == "full":
+        return {
+            "E1": lambda: experiment_e1_modified_paxos_scaling(
+                ns=(3, 5, 7, 9, 13, 17, 21, 25, 31), seeds=(1, 2, 3), params=params
+            ),
+            "E2": lambda: experiment_e2_traditional_obsolete(
+                ns=(5, 9, 13, 17, 21, 25, 31), seeds=(1, 2), params=params
+            ),
+            "E3": lambda: experiment_e3_rotating_coordinator(
+                n=21, faulty_counts=(0, 2, 4, 6, 8, 10), seeds=(1, 2), params=params
+            ),
+            "E4": lambda: experiment_e4_modified_bconsensus(
+                ns=(3, 5, 7, 9, 13, 17, 21), seeds=(1, 2), params=params
+            ),
+            "E5": lambda: experiment_e5_restart_recovery(
+                n=9, offsets=(5.0, 20.0, 40.0, 80.0), seeds=(1, 2), params=params
+            ),
+            "E6": lambda: experiment_e6_epsilon_tradeoff(
+                n=9, epsilons=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0), seeds=(1, 2), base_params=params
+            ),
+            "E7": lambda: experiment_e7_stable_case(n=9, seeds=(1, 2, 3), params=params),
+            "E8": lambda: experiment_e8_protocol_comparison(ns=(5, 9, 15), seeds=(1,), params=params),
+            "E9": lambda: experiment_e9_smr_stable_case(
+                n=9, stable_commands=30, chaos_commands=10, params=params
+            ),
+        }
+    raise ValueError(f"unknown campaign scale {scale!r}; use 'smoke' or 'full'")
+
+
+def run_campaign(
+    scale: str = "full",
+    experiments: Optional[List[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run the selected experiments and return their tables."""
+    plan = campaign_plan(scale)
+    selected = experiments if experiments is not None else sorted(plan)
+    result = CampaignResult(scale=scale)
+    for name in selected:
+        if name not in plan:
+            raise ValueError(f"unknown experiment {name!r}; available: {sorted(plan)}")
+        if progress is not None:
+            progress(f"running {name} ({scale} scale)")
+        started = time.perf_counter()
+        table = plan[name]()
+        result.durations[name] = time.perf_counter() - started
+        result.tables.append(table)
+    return result
+
+
+def write_report(result: CampaignResult, out_dir: str) -> str:
+    """Write per-experiment text tables and a combined Markdown report.
+
+    Returns the path of the Markdown report.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    for table in result.tables:
+        path = os.path.join(out_dir, f"{table.experiment}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(table.render())
+            handle.write("\n")
+
+    params = default_experiment_params()
+    report_path = os.path.join(out_dir, "experiments_report.md")
+    with open(report_path, "w", encoding="utf-8") as handle:
+        handle.write("# Regenerated experiment tables\n\n")
+        handle.write(f"Scale: `{result.scale}`; timing constants: {params.describe()}\n\n")
+        for table in result.tables:
+            duration = result.durations.get(table.experiment, 0.0)
+            handle.write(f"## {table.experiment}: {table.title}\n\n")
+            handle.write("```\n")
+            handle.write(table.render())
+            handle.write("\n```\n\n")
+            handle.write(f"_Regenerated in {duration:.1f} s._\n\n")
+    return report_path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the reproduction experiment campaign")
+    parser.add_argument("--scale", choices=("smoke", "full"), default="full")
+    parser.add_argument("--out", default="results")
+    parser.add_argument(
+        "--experiment",
+        action="append",
+        dest="experiments",
+        help="run only the given experiment id (may be repeated), e.g. --experiment E1",
+    )
+    args = parser.parse_args(argv)
+    result = run_campaign(scale=args.scale, experiments=args.experiments, progress=print)
+    report = write_report(result, args.out)
+    print(f"wrote {report}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI
+    raise SystemExit(main())

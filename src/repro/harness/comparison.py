@@ -1,0 +1,103 @@
+"""Experiment E8: the cross-protocol comparison table.
+
+Two views are combined:
+
+* every protocol under the *same* partitioned-chaos workload (how long after
+  ``TS`` does each need in a "generic bad past" situation), and
+* the two baselines under their respective worst-case adversaries (obsolete
+  high ballots for traditional Paxos, crashed coordinators for the rotating
+  coordinator), which is where the ``O(Nδ)`` behaviour actually shows.
+
+The expected shape: the two modified algorithms stay flat as ``N`` grows
+while the baselines' adversarial columns grow roughly linearly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.timing import decision_bound
+from repro.harness.runner import run_scenario
+from repro.harness.tables import ExperimentTable
+from repro.harness.experiments import default_experiment_params
+from repro.params import TimingParams
+from repro.workloads.chaos import partitioned_chaos_scenario
+from repro.workloads.coordinator_faults import coordinator_crash_scenario
+from repro.workloads.obsolete import obsolete_ballot_scenario
+
+__all__ = ["experiment_e8_protocol_comparison"]
+
+_CHAOS_PROTOCOLS = (
+    "modified-paxos",
+    "modified-b-consensus",
+    "traditional-paxos",
+    "rotating-coordinator",
+)
+
+
+def _max_lag_in_delta(run) -> Optional[float]:
+    lag = run.max_lag_after_ts()
+    if lag is None:
+        return None
+    return lag / run.scenario.config.params.delta
+
+
+def experiment_e8_protocol_comparison(
+    ns: Sequence[int] = (5, 9, 15),
+    seeds: Iterable[int] = (1,),
+    params: Optional[TimingParams] = None,
+    ts_factor: float = 8.0,
+) -> ExperimentTable:
+    """Regenerate the protocol-comparison table."""
+    params = params if params is not None else default_experiment_params()
+    bound = decision_bound(params) / params.delta
+    table = ExperimentTable(
+        experiment="E8",
+        title="Protocol comparison: worst post-TS decision lag (delta units)",
+        headers=["protocol", "n", "chaos_lag_delta", "adversarial_lag_delta", "undecided"],
+        notes=(
+            "chaos = identical partitioned-chaos workload for every protocol; adversarial = "
+            "protocol-specific worst case (obsolete ballots for traditional Paxos, crashed "
+            f"coordinators for the rotating coordinator); Modified Paxos bound = {bound:.1f} delta"
+        ),
+    )
+
+    for protocol in _CHAOS_PROTOCOLS:
+        for n in ns:
+            chaos_lags = []
+            undecided = 0
+            for seed in seeds:
+                scenario = partitioned_chaos_scenario(
+                    n, params=params, ts=ts_factor * params.delta, seed=seed
+                )
+                run = run_scenario(scenario, protocol)
+                lag = _max_lag_in_delta(run)
+                if lag is None:
+                    undecided += 1
+                else:
+                    chaos_lags.append(lag)
+
+            adversarial_lags = []
+            if protocol == "traditional-paxos":
+                for seed in seeds:
+                    scenario = obsolete_ballot_scenario(n, params=params, seed=seed)
+                    run = run_scenario(scenario, protocol)
+                    lag = _max_lag_in_delta(run)
+                    if lag is not None:
+                        adversarial_lags.append(lag)
+            elif protocol == "rotating-coordinator":
+                for seed in seeds:
+                    scenario = coordinator_crash_scenario(n, params=params, seed=seed)
+                    run = run_scenario(scenario, protocol)
+                    lag = _max_lag_in_delta(run)
+                    if lag is not None:
+                        adversarial_lags.append(lag)
+
+            table.add_row(
+                protocol=protocol,
+                n=n,
+                chaos_lag_delta=max(chaos_lags) if chaos_lags else None,
+                adversarial_lag_delta=max(adversarial_lags) if adversarial_lags else None,
+                undecided=undecided,
+            )
+    return table

@@ -1,0 +1,101 @@
+"""Parameter sweeps: run a scenario family over a grid of points and seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.stats import summarize
+from repro.consensus.base import ProtocolBuilder
+from repro.errors import ExperimentError
+from repro.harness.runner import RunResult, run_scenario
+from repro.workloads.scenario import Scenario
+
+__all__ = ["SweepPoint", "SweepResult", "sweep"]
+
+ScenarioFactory = Callable[[Any, int], Scenario]
+"""Builds the scenario for (sweep point value, seed)."""
+
+MetricFn = Callable[[RunResult], Optional[float]]
+
+
+@dataclass
+class SweepPoint:
+    """All runs of one sweep point (one value, several seeds)."""
+
+    value: Any
+    results: List[RunResult] = field(default_factory=list)
+
+    def metric_values(self, metric: MetricFn) -> List[float]:
+        values = [metric(result) for result in self.results]
+        return [value for value in values if value is not None]
+
+    def metric_mean(self, metric: MetricFn) -> Optional[float]:
+        values = self.metric_values(metric)
+        if not values:
+            return None
+        return summarize(values).mean
+
+    def metric_max(self, metric: MetricFn) -> Optional[float]:
+        values = self.metric_values(metric)
+        return max(values) if values else None
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep."""
+
+    parameter: str
+    protocol: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def point(self, value: Any) -> SweepPoint:
+        for point in self.points:
+            if point.value == value:
+                return point
+        raise ExperimentError(f"sweep has no point {value!r}")
+
+    def values(self) -> List[Any]:
+        return [point.value for point in self.points]
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[Any],
+    scenario_factory: ScenarioFactory,
+    protocol: Union[str, ProtocolBuilder, Callable[[], ProtocolBuilder]],
+    *,
+    seeds: Iterable[int] = (0,),
+    protocol_kwargs: Optional[Dict[str, Any]] = None,
+    enforce_safety: bool = True,
+) -> SweepResult:
+    """Run ``protocol`` for every (value, seed) combination.
+
+    ``protocol`` may be a registry name, a zero-argument builder factory
+    (recommended — builders hold per-simulation oracles and should not be
+    reused across runs), or a single builder instance (only safe for
+    oracle-free protocols).
+    """
+    protocol_name = protocol if isinstance(protocol, str) else None
+    result = SweepResult(parameter=parameter, protocol=protocol_name or "custom", points=[])
+    for value in values:
+        point = SweepPoint(value=value)
+        for seed in seeds:
+            scenario = scenario_factory(value, seed)
+            if isinstance(protocol, str):
+                run_protocol: Union[str, ProtocolBuilder] = protocol
+            elif isinstance(protocol, ProtocolBuilder):
+                run_protocol = protocol
+            else:
+                run_protocol = protocol()
+            run = run_scenario(
+                scenario,
+                run_protocol,
+                protocol_kwargs=protocol_kwargs,
+                enforce_safety=enforce_safety,
+            )
+            if result.protocol == "custom":
+                result.protocol = run.protocol
+            point.results.append(run)
+        result.points.append(point)
+    return result

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "ExperimentTable"]
+
+
+def _format_cell(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]], indent: str = "") -> str:
+    """Render an aligned, boxless text table."""
+    formatted = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = [
+        indent + "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        indent + "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in formatted:
+        lines.append(indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentTable:
+    """One experiment's regenerated table.
+
+    Attributes:
+        experiment: Identifier, e.g. ``"E1"``.
+        title: Human-readable title.
+        headers: Column names.
+        rows: Row values (as dicts keyed by header for robustness).
+        notes: Free-form notes: analytic bounds, shape expectations, caveats.
+    """
+
+    experiment: str
+    title: str
+    headers: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, header: str) -> List[Any]:
+        return [row.get(header) for row in self.rows]
+
+    def render(self) -> str:
+        body = render_table(
+            self.headers, [[row.get(header) for header in self.headers] for row in self.rows]
+        )
+        lines = [f"{self.experiment}: {self.title}", body]
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)

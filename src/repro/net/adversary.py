@@ -1,0 +1,247 @@
+"""Adversaries controlling the pre-stabilization era.
+
+The paper makes *no* assumption about messages sent before the stabilization
+time ``TS``: they may be lost or delivered arbitrarily late (even after
+``TS``).  Everything that happens to such messages is therefore a choice of
+an adversary.  An :class:`Adversary` is asked, for every message sent before
+``TS``, what its fate is: either ``None`` (lost) or an absolute real delivery
+time (which may exceed ``TS`` — this is what creates the obsolete-message
+hazard analysed in Sections 2 and 3 of the paper).
+
+Adversaries may also shape the delay of post-``TS`` messages, but the network
+clamps those delays to ``δ``: nothing the adversary does can violate the
+post-stabilization bound.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.message import Envelope
+from repro.net.partition import PartitionSpec
+from repro.sim.rng import SeededRng
+
+__all__ = [
+    "Adversary",
+    "BenignAdversary",
+    "DropAllAdversary",
+    "RandomChaosAdversary",
+    "PartitionAdversary",
+    "ScriptedAdversary",
+    "WorstCaseDelayAdversary",
+]
+
+
+class Adversary(abc.ABC):
+    """Decides the fate of pre-stabilization messages."""
+
+    @abc.abstractmethod
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        """Absolute delivery time for a pre-``TS`` message, or ``None`` to drop it."""
+
+    def post_ts_delay(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        """Delay for a post-``TS`` message, or ``None`` to let the network choose.
+
+        The network clamps the returned delay into ``(0, δ]``; adversaries
+        cannot break the synchrony bound after stabilization.
+        """
+        return None
+
+    def duplicate_probability(self, envelope: Envelope, now: float) -> float:
+        """Probability that the network also delivers a duplicate copy."""
+        return 0.0
+
+
+class BenignAdversary(Adversary):
+    """Delivers even pre-``TS`` messages promptly (an always-synchronous network).
+
+    Args:
+        delta: Delivery bound to honour before stabilization as well.
+        min_delay_fraction: Lower bound of the delay, as a fraction of delta.
+    """
+
+    def __init__(self, delta: float, min_delay_fraction: float = 0.1) -> None:
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if not 0.0 <= min_delay_fraction <= 1.0:
+            raise ConfigurationError("min_delay_fraction must be in [0, 1]")
+        self.delta = delta
+        self.min_delay_fraction = min_delay_fraction
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        delay = rng.delay(self.min_delay_fraction * self.delta, self.delta)
+        return now + delay
+
+
+class DropAllAdversary(Adversary):
+    """Loses every message sent before stabilization.
+
+    This is the simplest adversary under which no protocol can make any
+    progress before ``TS``, and is the cleanest setting for measuring the
+    "decision time after stabilization" claims.
+    """
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        return None
+
+
+class RandomChaosAdversary(Adversary):
+    """Random loss, random delays, and occasional deferral past ``TS``.
+
+    Args:
+        ts: Stabilization time (needed to aim deferred deliveries past it).
+        delta: Post-stabilization delivery bound (scales the delay ranges).
+        drop_probability: Chance a pre-``TS`` message is lost outright.
+        defer_probability: Chance a surviving message is held until after
+            ``TS`` (becoming an "obsolete" message in the paper's sense).
+        max_defer: Longest time past ``TS`` a deferred message may arrive.
+        max_delay_factor: Surviving, non-deferred messages are delayed by up
+            to ``max_delay_factor * delta``.
+        duplicate_prob: Chance that a delivered message is also duplicated.
+    """
+
+    def __init__(
+        self,
+        ts: float,
+        delta: float,
+        drop_probability: float = 0.5,
+        defer_probability: float = 0.1,
+        max_defer: float = 10.0,
+        max_delay_factor: float = 5.0,
+        duplicate_prob: float = 0.05,
+    ) -> None:
+        for name, prob in (
+            ("drop_probability", drop_probability),
+            ("defer_probability", defer_probability),
+            ("duplicate_prob", duplicate_prob),
+        ):
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigurationError(f"{name} must be a probability, got {prob}")
+        if delta <= 0 or ts < 0 or max_defer < 0 or max_delay_factor <= 0:
+            raise ConfigurationError("invalid RandomChaosAdversary parameters")
+        self.ts = ts
+        self.delta = delta
+        self.drop_probability = drop_probability
+        self.defer_probability = defer_probability
+        self.max_defer = max_defer
+        self.max_delay_factor = max_delay_factor
+        self.duplicate_prob = duplicate_prob
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if rng.coin(self.drop_probability):
+            return None
+        if rng.coin(self.defer_probability):
+            return self.ts + rng.delay(0.0, self.max_defer)
+        delay = rng.delay(0.05 * self.delta, self.max_delay_factor * self.delta)
+        return now + delay
+
+    def duplicate_probability(self, envelope: Envelope, now: float) -> float:
+        return self.duplicate_prob
+
+
+class PartitionAdversary(Adversary):
+    """Enforces a partition before stabilization.
+
+    Messages crossing group boundaries are dropped (optionally with a small
+    leak probability); intra-group messages are delayed within
+    ``[0, intra_delay_max]``.  With a :func:`repro.net.partition.minority_groups`
+    spec this guarantees no decision can be reached before ``TS`` while still
+    letting processes make local progress (e.g. advance sessions within their
+    group up to the protocol's majority gate).
+    """
+
+    def __init__(
+        self,
+        spec: PartitionSpec,
+        delta: float,
+        intra_delay_max: Optional[float] = None,
+        leak_probability: float = 0.0,
+        leak_max_delay: float = 0.0,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if not 0.0 <= leak_probability <= 1.0:
+            raise ConfigurationError("leak_probability must be a probability")
+        self.spec = spec
+        self.delta = delta
+        self.intra_delay_max = intra_delay_max if intra_delay_max is not None else delta
+        self.leak_probability = leak_probability
+        self.leak_max_delay = leak_max_delay if leak_max_delay > 0 else 2.0 * delta
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if self.spec.connected(envelope.src, envelope.dst):
+            return now + rng.delay(0.05 * self.delta, self.intra_delay_max)
+        if self.leak_probability and rng.coin(self.leak_probability):
+            return now + rng.delay(0.05 * self.delta, self.leak_max_delay)
+        return None
+
+
+class WorstCaseDelayAdversary(Adversary):
+    """Stretches every post-stabilization delivery to (almost) exactly ``δ``.
+
+    The eventual-synchrony model only promises delivery *within* ``δ``; an
+    adversary is free to make every message take the full bound.  Using this
+    wrapper pushes measured decision lags toward the analytic worst case
+    instead of the optimistic values produced by uniformly random delays.
+    Pre-``TS`` behaviour is delegated to an inner adversary (everything is
+    lost by default).
+
+    Args:
+        delta: The post-stabilization bound.
+        pre_ts: Adversary controlling messages sent before stabilization.
+        jitter: Small fraction of ``δ`` subtracted at random so that ties do
+            not all land on the same instant (0 disables it).
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        pre_ts: Optional[Adversary] = None,
+        jitter: float = 0.01,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        self.delta = delta
+        self.pre_ts = pre_ts if pre_ts is not None else DropAllAdversary()
+        self.jitter = jitter
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        return self.pre_ts.pre_ts_fate(envelope, now, rng)
+
+    def post_ts_delay(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if self.jitter == 0.0:
+            return self.delta
+        return self.delta * (1.0 - rng.uniform(0.0, self.jitter))
+
+    def duplicate_probability(self, envelope: Envelope, now: float) -> float:
+        return self.pre_ts.duplicate_probability(envelope, now)
+
+
+@dataclass
+class ScriptedAdversary(Adversary):
+    """Adversary driven by an arbitrary callback (used by tests and scenarios).
+
+    Attributes:
+        script: Callable ``(envelope, now, rng) -> Optional[float]`` giving
+            the absolute delivery time of a pre-``TS`` message or None.
+        fallback: Adversary consulted when ``script`` returns the sentinel
+            :data:`ScriptedAdversary.PASS`.
+    """
+
+    PASS = object()
+
+    script: Callable[[Envelope, float, SeededRng], object]
+    fallback: Adversary = field(default_factory=DropAllAdversary)
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        outcome = self.script(envelope, now, rng)
+        if outcome is ScriptedAdversary.PASS:
+            return self.fallback.pre_ts_fate(envelope, now, rng)
+        if outcome is None:
+            return None
+        return float(outcome)  # type: ignore[arg-type]

@@ -1,0 +1,99 @@
+"""Message and envelope types.
+
+Protocol messages are small frozen dataclasses subclassing :class:`Message`.
+The network wraps each send in an :class:`Envelope` carrying transport
+metadata (source, destination, send time, fate); protocols never see
+envelopes, only messages and the sender id.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, fields
+from typing import ClassVar, Optional
+
+__all__ = ["Era", "Message", "Envelope"]
+
+
+class Era(enum.Enum):
+    """Which side of the stabilization time a message was sent on."""
+
+    PRE = "pre-stabilization"
+    POST = "post-stabilization"
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for protocol messages.
+
+    Subclasses add their own fields and set ``kind`` to a short stable name
+    used by traces, monitors, and message-type filters.
+    """
+
+    kind: ClassVar[str] = "message"
+
+    def describe(self) -> str:
+        """Compact single-line rendering used in traces."""
+        parts = [f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)]
+        return f"{self.kind}({', '.join(parts)})"
+
+
+_envelope_ids = itertools.count()
+
+
+@dataclass
+class Envelope:
+    """Transport wrapper around one message instance in flight.
+
+    Attributes:
+        message: The protocol message being carried.
+        src: Sender process id.
+        dst: Destination process id.
+        send_time: Real time at which the send happened.
+        era: Whether the send happened before or after stabilization.
+        msg_id: Unique id for tracing.
+        deliver_time: Real delivery time once the fate is decided, else None.
+        dropped: True if the network decided to lose the message.
+        duplicated_from: msg_id of the original if this is a duplicate copy.
+    """
+
+    message: Message
+    src: int
+    dst: int
+    send_time: float
+    era: Era
+    msg_id: int = field(default_factory=lambda: next(_envelope_ids))
+    deliver_time: Optional[float] = None
+    dropped: bool = False
+    duplicated_from: Optional[int] = None
+
+    @property
+    def kind(self) -> str:
+        return type(self.message).kind
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Delivery latency, or None if undecided / dropped."""
+        if self.dropped or self.deliver_time is None:
+            return None
+        return self.deliver_time - self.send_time
+
+    def describe(self) -> str:
+        fate: str
+        if self.dropped:
+            fate = "dropped"
+        elif self.deliver_time is None:
+            fate = "pending"
+        else:
+            fate = f"deliver@{self.deliver_time:.3f}"
+        return (
+            f"#{self.msg_id} {self.src}->{self.dst} {self.message.describe()} "
+            f"sent@{self.send_time:.3f} [{self.era.name}] {fate}"
+        )
+
+
+def reset_envelope_ids() -> None:
+    """Reset the global envelope id counter (test isolation helper)."""
+    global _envelope_ids
+    _envelope_ids = itertools.count()

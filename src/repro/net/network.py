@@ -1,0 +1,161 @@
+"""The network: turns sends into scheduled deliveries.
+
+The :class:`Network` is intentionally thin.  It asks the synchrony model for
+each message's fate, schedules the delivery event on its host (the
+simulator), and reports everything to the :class:`repro.net.monitor.NetworkMonitor`.
+Scenario builders can additionally *inject* in-flight messages — the
+mechanism used to install reachable pre-stabilization states (obsolete
+high-ballot messages and the like) without replaying the whole pre-``TS``
+history.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol
+
+from repro.errors import NetworkError
+from repro.net.message import Envelope, Era, Message
+from repro.net.monitor import NetworkMonitor
+from repro.net.synchrony import SynchronyModel
+from repro.sim.events import EventHandle
+from repro.sim.rng import SeededRng
+
+__all__ = ["Network", "TransportHost"]
+
+
+class TransportHost(Protocol):
+    """What the network needs from its host (implemented by the simulator)."""
+
+    def now(self) -> float:
+        """Current real time."""
+
+    def schedule_at(self, time: float, action: Callable[[], None], *, label: str = "") -> EventHandle:
+        """Schedule an action at an absolute real time."""
+
+    def deliver_envelope(self, envelope: Envelope) -> bool:
+        """Hand the envelope to its destination; False if the destination is crashed."""
+
+
+class Network:
+    """Message transport with partial-synchrony semantics.
+
+    Args:
+        model: The synchrony model deciding delivery fates.
+        rng: Randomness stream for delays and duplication coins.
+        monitor: Message accounting sink (a fresh one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        model: SynchronyModel,
+        rng: SeededRng,
+        monitor: Optional[NetworkMonitor] = None,
+    ) -> None:
+        self.model = model
+        self.rng = rng
+        self.monitor = monitor if monitor is not None else NetworkMonitor()
+        self._host: Optional[TransportHost] = None
+        self._log: List[Envelope] = []
+
+    # -- wiring --------------------------------------------------------------
+    def bind(self, host: TransportHost) -> None:
+        """Attach the transport host; must be called before the first send."""
+        self._host = host
+
+    @property
+    def host(self) -> TransportHost:
+        if self._host is None:
+            raise NetworkError("Network.bind(host) must be called before sending")
+        return self._host
+
+    @property
+    def envelopes(self) -> List[Envelope]:
+        """Every envelope ever handled, in send order (for analysis/tests)."""
+        return list(self._log)
+
+    # -- the send path --------------------------------------------------------
+    def send(self, message: Message, src: int, dst: int) -> Envelope:
+        """Send ``message`` from ``src`` to ``dst`` and schedule its fate."""
+        now = self.host.now()
+        envelope = Envelope(
+            message=message,
+            src=src,
+            dst=dst,
+            send_time=now,
+            era=self.model.era(now),
+        )
+        self._log.append(envelope)
+        self.monitor.on_send(envelope)
+
+        deliver_time = self.model.fate(envelope, now, self.rng)
+        if deliver_time is None:
+            envelope.dropped = True
+            self.monitor.on_drop(envelope)
+            return envelope
+
+        self._schedule_delivery(envelope, deliver_time)
+
+        duplicate_prob = self.model.duplicate_probability(envelope, now)
+        if duplicate_prob > 0 and self.rng.coin(duplicate_prob):
+            self._schedule_duplicate(envelope, now)
+        return envelope
+
+    def inject(
+        self,
+        message: Message,
+        src: int,
+        dst: int,
+        deliver_time: float,
+        send_time: float = 0.0,
+    ) -> Envelope:
+        """Install an in-flight message with a fixed delivery time.
+
+        Used by scenario builders to represent messages sent before the
+        simulated portion of the execution begins (the pre-``TS`` history the
+        paper allows to be arbitrary).  The injected envelope is marked as
+        belonging to the pre-stabilization era.
+        """
+        if deliver_time < send_time:
+            raise NetworkError("injected message would be delivered before it was sent")
+        envelope = Envelope(
+            message=message,
+            src=src,
+            dst=dst,
+            send_time=send_time,
+            era=Era.PRE,
+        )
+        self._log.append(envelope)
+        self.monitor.on_send(envelope)
+        self._schedule_delivery(envelope, deliver_time)
+        return envelope
+
+    # -- internals -------------------------------------------------------------
+    def _schedule_delivery(self, envelope: Envelope, deliver_time: float) -> None:
+        envelope.deliver_time = deliver_time
+        label = f"deliver:{envelope.kind}:{envelope.src}->{envelope.dst}"
+        self.host.schedule_at(deliver_time, lambda: self._deliver(envelope), label=label)
+
+    def _schedule_duplicate(self, envelope: Envelope, now: float) -> None:
+        duplicate = Envelope(
+            message=envelope.message,
+            src=envelope.src,
+            dst=envelope.dst,
+            send_time=envelope.send_time,
+            era=envelope.era,
+            duplicated_from=envelope.msg_id,
+        )
+        self._log.append(duplicate)
+        self.monitor.on_duplicate(duplicate)
+        deliver_time = self.model.fate(duplicate, now, self.rng)
+        if deliver_time is None:
+            duplicate.dropped = True
+            self.monitor.on_drop(duplicate)
+            return
+        self._schedule_delivery(duplicate, deliver_time)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        accepted = self.host.deliver_envelope(envelope)
+        if accepted:
+            self.monitor.on_deliver(envelope)
+        else:
+            self.monitor.on_lost_to_crashed(envelope)

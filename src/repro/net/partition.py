@@ -1,0 +1,92 @@
+"""Partition specifications.
+
+A partition splits the process ids into disjoint groups; messages inside a
+group are deliverable, messages across groups are dropped (while the
+partition is in force).  The important special case for the paper is a
+partition in which *no group holds a majority*: under such a partition no
+quorum-based protocol can decide, which is how the chaos workloads guarantee
+that nothing is decided before the stabilization time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import SeededRng
+
+__all__ = ["PartitionSpec", "minority_groups"]
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """A disjoint grouping of process ids."""
+
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for group in self.groups:
+            for pid in group:
+                if pid in seen:
+                    raise ConfigurationError(f"pid {pid} appears in two partition groups")
+                seen.add(pid)
+
+    @classmethod
+    def of(cls, groups: Iterable[Iterable[int]]) -> "PartitionSpec":
+        return cls(tuple(tuple(sorted(group)) for group in groups))
+
+    @property
+    def pids(self) -> List[int]:
+        return sorted(pid for group in self.groups for pid in group)
+
+    def group_of(self, pid: int) -> int:
+        """Index of the group containing ``pid`` (-1 if isolated/unlisted)."""
+        for index, group in enumerate(self.groups):
+            if pid in group:
+                return index
+        return -1
+
+    def connected(self, src: int, dst: int) -> bool:
+        """Whether a message from ``src`` to ``dst`` crosses no partition boundary."""
+        if src == dst:
+            return True
+        src_group = self.group_of(src)
+        if src_group < 0:
+            return False
+        return src_group == self.group_of(dst)
+
+    def largest_group_size(self) -> int:
+        return max((len(group) for group in self.groups), default=0)
+
+    def blocks_majority(self, n: int) -> bool:
+        """True if no group contains a strict majority of the ``n`` processes."""
+        return self.largest_group_size() < n // 2 + 1
+
+
+def minority_groups(n: int, rng: SeededRng) -> PartitionSpec:
+    """Split ``n`` processes into random groups none of which is a majority.
+
+    Every process belongs to exactly one group and the largest group has at
+    most ``⌊N/2⌋`` members (one less than a strict majority), so no quorum
+    can form inside any single group.
+    """
+    if n < 2:
+        raise ConfigurationError("need at least two processes to partition")
+    pids = list(range(n))
+    rng.shuffle(pids)
+    majority = n // 2 + 1
+    max_group = max(1, majority - 1)
+    groups: List[List[int]] = []
+    index = 0
+    while index < len(pids):
+        size = rng.randint(1, max_group)
+        groups.append(pids[index : index + size])
+        index += size
+    spec = PartitionSpec.of(groups)
+    if not spec.blocks_majority(n):
+        # The final short group can never push another group over the limit,
+        # but guard against future edits breaking the invariant.
+        raise ConfigurationError("internal error: generated partition allows a majority")
+    return spec

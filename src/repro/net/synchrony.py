@@ -1,0 +1,99 @@
+"""Synchrony models: when is a message delivered?
+
+:class:`EventualSynchrony` is the model of the paper — an unknown global
+stabilization time ``TS`` before which the adversary rules and after which
+every message to a live process arrives within ``δ``.  Setting ``ts=0``
+yields a synchronous system from the start (used for the stable-case
+experiment E7).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.net.adversary import Adversary, BenignAdversary
+from repro.net.message import Envelope, Era
+from repro.sim.rng import SeededRng
+
+__all__ = ["SynchronyModel", "EventualSynchrony"]
+
+
+class SynchronyModel(abc.ABC):
+    """Maps a send to an era and a delivery fate."""
+
+    @abc.abstractmethod
+    def era(self, send_time: float) -> Era:
+        """Which era a message sent at ``send_time`` belongs to."""
+
+    @abc.abstractmethod
+    def fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        """Absolute delivery time for the envelope, or ``None`` if it is lost."""
+
+    @abc.abstractmethod
+    def duplicate_probability(self, envelope: Envelope, now: float) -> float:
+        """Probability that a duplicate copy is also delivered."""
+
+
+class EventualSynchrony(SynchronyModel):
+    """The paper's eventually-synchronous model.
+
+    Args:
+        ts: Global stabilization time (unknown to the processes).
+        delta: Post-stabilization bound on delivery + processing time.
+        adversary: Controls pre-``TS`` messages; defaults to prompt delivery.
+        post_min_delay_fraction: Lower bound on post-``TS`` delays, as a
+            fraction of ``delta`` (models that messages are not instant).
+    """
+
+    def __init__(
+        self,
+        ts: float,
+        delta: float,
+        adversary: Optional[Adversary] = None,
+        post_min_delay_fraction: float = 0.1,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError(f"delta must be positive, got {delta}")
+        if ts < 0:
+            raise ConfigurationError(f"ts must be non-negative, got {ts}")
+        if not 0.0 <= post_min_delay_fraction <= 1.0:
+            raise ConfigurationError("post_min_delay_fraction must be in [0, 1]")
+        self.ts = ts
+        self.delta = delta
+        self.adversary = adversary if adversary is not None else BenignAdversary(delta)
+        self.post_min_delay_fraction = post_min_delay_fraction
+
+    def __repr__(self) -> str:
+        return (
+            f"EventualSynchrony(ts={self.ts}, delta={self.delta}, "
+            f"adversary={type(self.adversary).__name__})"
+        )
+
+    def era(self, send_time: float) -> Era:
+        return Era.POST if send_time >= self.ts else Era.PRE
+
+    def post_delay_bounds(self) -> Tuple[float, float]:
+        """Inclusive (min, max) delay range for post-stabilization messages."""
+        return (self.post_min_delay_fraction * self.delta, self.delta)
+
+    def fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if envelope.era is Era.PRE:
+            when = self.adversary.pre_ts_fate(envelope, now, rng)
+            if when is not None and when < now:
+                raise ConfigurationError(
+                    f"adversary scheduled delivery in the past ({when} < {now})"
+                )
+            return when
+        low, high = self.post_delay_bounds()
+        suggested = self.adversary.post_ts_delay(envelope, now, rng)
+        if suggested is None:
+            delay = rng.delay(low, high)
+        else:
+            # Clamp: after stabilization nothing can exceed delta or be negative.
+            delay = min(max(suggested, 0.0), self.delta)
+        return now + delay
+
+    def duplicate_probability(self, envelope: Envelope, now: float) -> float:
+        return self.adversary.duplicate_probability(envelope, now)

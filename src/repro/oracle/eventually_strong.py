@@ -1,0 +1,65 @@
+"""A ◇S-style (eventually strong) failure detector.
+
+The rotating-coordinator baseline of Section 3 is usually described on top
+of an eventually-strong failure detector: after some unknown time the
+detector stops suspecting at least one correct process and permanently
+suspects every crashed process.  As with Ω, the detector here is omniscient
+after ``ts + stabilization_delay`` and adversary-controlled before, because
+the paper grants the baseline its oracle and studies only the time the
+*algorithm* needs once the oracle behaves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Set
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+__all__ = ["EventuallyStrongDetector"]
+
+PreStabilitySuspects = Callable[[int, float], Set[int]]
+"""Maps (querying pid, time) to the suspect set that process sees before stabilization."""
+
+
+class EventuallyStrongDetector:
+    """Eventually-accurate, eventually-complete failure detector."""
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        stabilization_delay: Optional[float] = None,
+        pre_stability_suspects: Optional[PreStabilitySuspects] = None,
+    ) -> None:
+        self.simulator = simulator
+        delta = simulator.config.params.delta
+        self.stabilization_delay = (
+            stabilization_delay if stabilization_delay is not None else delta
+        )
+        if self.stabilization_delay < 0:
+            raise ConfigurationError("stabilization_delay must be non-negative")
+        # Default pre-stability behaviour: suspect everyone else, the worst
+        # case for coordinator-based rounds (every round times out).
+        self.pre_stability_suspects = pre_stability_suspects or (
+            lambda pid, now: {p for p in range(simulator.config.n) if p != pid}
+        )
+        self.queries = 0
+
+    @property
+    def convergence_time(self) -> float:
+        return self.simulator.config.ts + self.stabilization_delay
+
+    def suspects(self, querying_pid: int) -> Set[int]:
+        """The set of processes ``querying_pid`` currently suspects."""
+        self.queries += 1
+        now = self.simulator.now()
+        if now < self.convergence_time:
+            return set(self.pre_stability_suspects(querying_pid, now))
+        alive = set(self.simulator.alive_pids())
+        return {pid for pid in range(self.simulator.config.n) if pid not in alive}
+
+    def trusts(self, querying_pid: int, target: int) -> bool:
+        """Whether ``querying_pid`` currently trusts ``target`` to be up."""
+        return target not in self.suspects(querying_pid)

@@ -1,0 +1,121 @@
+"""A message-based Ω implementation (heartbeat leader election).
+
+:class:`repro.oracle.omega.OmegaOracle` is omniscient: the paper *grants* the
+leader-election oracle to traditional Paxos, so peeking at liveness is fair.
+This module provides the concrete implementation a real deployment would use
+— periodic heartbeats plus a timeout — so that the baseline can also be run
+without any omniscience, and so the cost of a real election (roughly one
+extra heartbeat timeout after stabilization) can be measured.
+
+:class:`HeartbeatElector` is a per-process component in the same style as
+:class:`repro.oracle.wab.WabEndpoint`: the owning protocol process forwards
+heartbeat messages and the heartbeat timer to it, and queries
+:meth:`leader` / :meth:`believes_self_leader` exactly like it would query the
+omniscient oracle.
+
+Properties after stabilization (``TS``): every live process's heartbeats
+reach everyone within ``δ``, so within one heartbeat period plus one timeout
+after ``TS`` all processes trust exactly the live processes and therefore
+agree on the same leader — the lowest live pid.  Before ``TS`` anything goes
+(heartbeats may be lost), which matches the oracle's unconstrained
+pre-stability behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.message import Message
+from repro.sim.process import ProcessContext
+
+__all__ = ["Heartbeat", "HeartbeatElector"]
+
+_TIMER_NAME = "omega-heartbeat"
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic liveness announcement."""
+
+    kind = "heartbeat"
+
+    sender: int
+
+
+class HeartbeatElector:
+    """Heartbeat-based eventual leader election for one process.
+
+    Args:
+        ctx: The owning process's context.
+        period_factor: Heartbeat period as a multiple of ``δ``.
+        timeout_factor: How many ``δ`` of silence make a process suspected;
+            must exceed ``period_factor + 1`` so one in-flight heartbeat (up
+            to ``δ`` old) plus scheduling slack never causes a false
+            suspicion after stabilization.
+    """
+
+    def __init__(
+        self,
+        ctx: ProcessContext,
+        period_factor: float = 1.0,
+        timeout_factor: float = 2.5,
+    ) -> None:
+        if period_factor <= 0:
+            raise ConfigurationError("period_factor must be positive")
+        if timeout_factor <= period_factor + 1.0:
+            raise ConfigurationError(
+                "timeout_factor must exceed period_factor + 1 (heartbeat age bound)"
+            )
+        self.ctx = ctx
+        self.period_local = period_factor * ctx.params.delta * (1.0 + ctx.params.rho)
+        self.timeout_local = timeout_factor * ctx.params.delta * (1.0 + ctx.params.rho)
+        self._last_heard: Dict[int, float] = {}
+        self.heartbeats_sent = 0
+        self.heartbeats_received = 0
+
+    # -- wiring --------------------------------------------------------------
+    def start(self) -> None:
+        """Send the first heartbeat and arm the periodic timer."""
+        self._beat()
+
+    def handles_timer(self, name: str) -> bool:
+        return name == _TIMER_NAME
+
+    def on_timer(self, name: str) -> None:
+        if name == _TIMER_NAME:
+            self._beat()
+
+    def handles_message(self, message: Message) -> bool:
+        return isinstance(message, Heartbeat)
+
+    def on_message(self, message: Message) -> None:
+        if isinstance(message, Heartbeat):
+            self.heartbeats_received += 1
+            self._last_heard[message.sender] = self.ctx.local_time()
+
+    # -- queries ------------------------------------------------------------------
+    def trusted(self) -> set[int]:
+        """Processes currently believed to be up (always includes self)."""
+        now_local = self.ctx.local_time()
+        alive = {
+            pid
+            for pid, heard in self._last_heard.items()
+            if now_local - heard <= self.timeout_local
+        }
+        alive.add(self.ctx.pid)
+        return alive
+
+    def leader(self, querying_pid: Optional[int] = None) -> int:
+        """The current leader estimate: the lowest trusted pid."""
+        return min(self.trusted())
+
+    def believes_self_leader(self, pid: Optional[int] = None) -> bool:
+        return self.leader() == self.ctx.pid
+
+    # -- internals -------------------------------------------------------------------
+    def _beat(self) -> None:
+        self.heartbeats_sent += 1
+        self.ctx.broadcast(Heartbeat(sender=self.ctx.pid), include_self=False)
+        self.ctx.set_timer(_TIMER_NAME, self.period_local)

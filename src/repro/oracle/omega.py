@@ -1,0 +1,80 @@
+"""The Ω leader-election oracle.
+
+Section 2 of the paper analyses traditional Paxos under the *assumption*
+that "the leader-election procedure is guaranteed to choose a unique,
+nonfaulty leader within O(δ) seconds after the system is stable".  The
+oracle here realizes exactly that assumption without simulating a concrete
+election protocol: after ``ts + stabilization_delay`` every query returns the
+lowest-id process that is up (and, by the model, will stay up); before that,
+the answers are adversary-controlled and may differ between processes.
+
+The oracle is deliberately omniscient — it peeks at the node table — because
+its correctness is an *assumption granted to the baseline*, not a system
+under study.  Using it therefore never weakens the comparison against the
+paper's own algorithm, which uses no oracle at all.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+__all__ = ["OmegaOracle"]
+
+PreStabilityLeader = Callable[[int, float], int]
+"""Maps (querying pid, time) to the leader that process trusts before stabilization."""
+
+
+class OmegaOracle:
+    """Eventual leader election with a bounded post-stability convergence delay.
+
+    Args:
+        simulator: The simulator whose node liveness is consulted.
+        stabilization_delay: How long after ``ts`` the oracle may still give
+            wrong or divergent answers; must be O(δ) to honour the paper's
+            assumption (default ``delta``).
+        pre_stability_leader: Optional adversary choice of pre-``TS`` answers;
+            default is "everyone trusts themselves", the most disruptive
+            benign-looking choice (it maximizes competing ballots).
+    """
+
+    def __init__(
+        self,
+        simulator: "Simulator",
+        stabilization_delay: Optional[float] = None,
+        pre_stability_leader: Optional[PreStabilityLeader] = None,
+    ) -> None:
+        self.simulator = simulator
+        delta = simulator.config.params.delta
+        self.stabilization_delay = (
+            stabilization_delay if stabilization_delay is not None else delta
+        )
+        if self.stabilization_delay < 0:
+            raise ConfigurationError("stabilization_delay must be non-negative")
+        self.pre_stability_leader = pre_stability_leader or (lambda pid, now: pid)
+        self.queries = 0
+
+    @property
+    def convergence_time(self) -> float:
+        """Real time from which the oracle's answer is unique and correct."""
+        return self.simulator.config.ts + self.stabilization_delay
+
+    def leader(self, querying_pid: int) -> int:
+        """The process ``querying_pid`` currently trusts as leader."""
+        self.queries += 1
+        now = self.simulator.now()
+        if now < self.convergence_time:
+            return self.pre_stability_leader(querying_pid, now)
+        alive = self.simulator.alive_pids()
+        if not alive:
+            # Degenerate corner: everything crashed; fall back to self-trust.
+            return querying_pid
+        return min(alive)
+
+    def believes_self_leader(self, pid: int) -> bool:
+        """Convenience wrapper used by the Paxos proposer."""
+        return self.leader(pid) == pid

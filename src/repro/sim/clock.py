@@ -1,0 +1,99 @@
+"""Per-process drifting clocks.
+
+The paper assumes that, after the stabilization time ``TS``, process clocks
+run at a rate within a known factor ``ρ`` of real time (``ρ ≪ 1``).  We model
+each process clock as linear with a constant rate drawn from
+``[1 − ρ, 1 + ρ]``: local time advances ``rate`` local-seconds per real
+second.  Protocols set timers in *local* time, so a timer of local duration
+``L`` elapses after a real duration in ``[L / (1 + ρ), L / (1 − ρ)]`` — this
+is exactly the envelope the Modified Paxos session timer relies on to fire
+within ``[4δ, σ]`` real seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ClockConfig", "DriftingClock"]
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    """Bounds on clock behaviour.
+
+    Attributes:
+        rho: Maximum rate error after stabilization; rates lie in
+            ``[1 - rho, 1 + rho]``.
+    """
+
+    rho: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rho < 1.0:
+            raise ConfigurationError(f"rho must be in [0, 1), got {self.rho}")
+
+    def local_timeout_for(self, real_minimum: float) -> float:
+        """Local duration whose real elapse is guaranteed to be >= ``real_minimum``.
+
+        A timer set for local duration ``L`` elapses after at least
+        ``L / (1 + rho)`` real seconds, so ``L = real_minimum * (1 + rho)``
+        guarantees the real wait is never shorter than ``real_minimum``.
+        """
+        return real_minimum * (1.0 + self.rho)
+
+    def real_upper_bound(self, local_duration: float) -> float:
+        """Largest real duration a local timer of ``local_duration`` can take."""
+        return local_duration / (1.0 - self.rho)
+
+    def sigma_for(self, real_minimum: float) -> float:
+        """The paper's σ: the worst-case real expiry of the session timer.
+
+        With the session timer set to a local duration of
+        ``real_minimum * (1 + rho)`` the real expiry lies in
+        ``[real_minimum, sigma]`` with
+        ``sigma = real_minimum * (1 + rho) / (1 - rho)``.
+        """
+        return self.real_upper_bound(self.local_timeout_for(real_minimum))
+
+
+class DriftingClock:
+    """A linear local clock with a constant rate.
+
+    Args:
+        rate: Local seconds elapsed per real second; must be positive.
+        start_real: Real time at which the clock starts.
+        start_local: Local reading at ``start_real``.
+    """
+
+    def __init__(self, rate: float = 1.0, start_real: float = 0.0, start_local: float = 0.0) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"clock rate must be positive, got {rate}")
+        self.rate = rate
+        self._start_real = start_real
+        self._start_local = start_local
+
+    def __repr__(self) -> str:
+        return f"DriftingClock(rate={self.rate:.6f})"
+
+    def local_time(self, real_time: float) -> float:
+        """Local clock reading at the given real time."""
+        return self._start_local + (real_time - self._start_real) * self.rate
+
+    def real_duration(self, local_duration: float) -> float:
+        """Real seconds needed for the local clock to advance ``local_duration``."""
+        if local_duration < 0:
+            raise ConfigurationError("local_duration must be non-negative")
+        return local_duration / self.rate
+
+    def local_duration(self, real_duration: float) -> float:
+        """Local seconds elapsed during ``real_duration`` real seconds."""
+        if real_duration < 0:
+            raise ConfigurationError("real_duration must be non-negative")
+        return real_duration * self.rate
+
+    def reset(self, real_time: float, local_time: float = 0.0) -> None:
+        """Restart the clock (e.g. after a process restart)."""
+        self._start_real = real_time
+        self._start_local = local_time

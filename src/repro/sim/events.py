@@ -1,0 +1,139 @@
+"""Event queue for the discrete-event simulator.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+guarantees a deterministic total order for events scheduled at the same
+instant with the same priority: ties are broken by insertion order, which is
+itself deterministic because the whole simulation is single-threaded and
+seeded.
+
+Cancellation is lazy: cancelling an event marks its handle and the queue
+skips cancelled entries when popping.  This keeps ``cancel`` O(1) and avoids
+re-heapifying.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.errors import SchedulingError
+
+__all__ = ["Event", "EventHandle", "EventQueue"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Lower priorities fire first among events at the same time.
+        seq: Monotonic sequence number used as the final tie-breaker.
+        action: Zero-argument callable invoked when the event fires.
+        label: Human-readable tag used by traces and debugging output.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], None]
+    label: str = ""
+
+
+@dataclass
+class EventHandle:
+    """Handle returned by :meth:`EventQueue.push`, used for cancellation."""
+
+    event: Event
+    cancelled: bool = False
+
+    @property
+    def time(self) -> float:
+        return self.event.time
+
+    @property
+    def label(self) -> str:
+        return self.event.label
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled.  Cancelling twice is an error."""
+        if self.cancelled:
+            raise SchedulingError(f"event {self.event.label!r} cancelled twice")
+        self.cancelled = True
+
+
+@dataclass
+class EventQueue:
+    """Priority queue of :class:`Event` objects with lazy cancellation."""
+
+    _heap: list[tuple[float, int, int, EventHandle]] = field(default_factory=list)
+    _counter: Iterator[int] = field(default_factory=itertools.count)
+    _live: int = 0
+
+    def __len__(self) -> int:
+        """Number of *live* (non-cancelled) events still queued."""
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``action`` at ``time`` and return a cancellable handle."""
+        seq = next(self._counter)
+        event = Event(time=time, priority=priority, seq=seq, action=action, label=label)
+        handle = EventHandle(event=event)
+        heapq.heappush(self._heap, (time, priority, seq, handle))
+        self._live += 1
+        return handle
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        self._discard_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises:
+            SchedulingError: if the queue holds no live events.
+        """
+        self._discard_cancelled()
+        if not self._heap:
+            raise SchedulingError("pop from an empty event queue")
+        _, _, _, handle = heapq.heappop(self._heap)
+        self._live -= 1
+        return handle.event
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a previously pushed event via its handle."""
+        handle.cancel()
+        self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every queued event (used when tearing a simulation down)."""
+        self._heap.clear()
+        self._live = 0
+
+    def _discard_cancelled(self) -> None:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+
+    def snapshot(self) -> list[Event]:
+        """Return the live events in firing order without consuming them.
+
+        Intended for tests and debugging; cost is O(n log n).
+        """
+        entries = [entry for entry in self._heap if not entry[3].cancelled]
+        entries.sort()
+        return [handle.event for _, _, _, handle in entries]

@@ -1,0 +1,136 @@
+"""Named, per-process timers.
+
+Protocols set timers in *local* clock time (:class:`repro.sim.clock.DriftingClock`
+converts local durations to real ones).  Timers are named: setting a timer
+with an existing name replaces it, which matches how protocols express
+"reset the session timer".  All timers of a process are invalidated when the
+process crashes; firing callbacks are routed through an epoch check so a
+stale timer scheduled before a crash can never fire into a restarted
+incarnation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.clock import DriftingClock
+from repro.sim.events import EventHandle
+
+__all__ = ["TimerManager", "TimerRecord"]
+
+ScheduleFn = Callable[..., EventHandle]
+CancelFn = Callable[[EventHandle], None]
+FireFn = Callable[[str], None]
+
+
+@dataclass
+class TimerRecord:
+    """Bookkeeping for one pending timer."""
+
+    name: str
+    handle: EventHandle
+    set_at_real: float
+    fires_at_real: float
+    local_delay: float
+    epoch: int
+
+
+class TimerManager:
+    """Manage the named timers of a single process incarnation.
+
+    Args:
+        clock: The owning process's local clock.
+        schedule: Callable ``schedule(real_time, action, label=...)`` returning
+            an :class:`EventHandle` (normally ``Simulator.schedule_at``).
+        cancel: Callable cancelling an :class:`EventHandle`.
+        on_fire: Callback invoked with the timer name when a timer fires.
+        now: Callable returning the current real time.
+    """
+
+    def __init__(
+        self,
+        clock: DriftingClock,
+        schedule: ScheduleFn,
+        cancel: CancelFn,
+        on_fire: FireFn,
+        now: Callable[[], float],
+    ) -> None:
+        self._clock = clock
+        self._schedule = schedule
+        self._cancel = cancel
+        self._on_fire = on_fire
+        self._now = now
+        self._pending: Dict[str, TimerRecord] = {}
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pending
+
+    @property
+    def epoch(self) -> int:
+        """Incarnation counter; bumped by :meth:`invalidate_all`."""
+        return self._epoch
+
+    def pending(self) -> list[str]:
+        """Names of timers currently pending, in deterministic order."""
+        return sorted(self._pending)
+
+    def remaining_real(self, name: str) -> Optional[float]:
+        """Real seconds until the named timer fires, or ``None`` if not set."""
+        record = self._pending.get(name)
+        if record is None:
+            return None
+        return max(0.0, record.fires_at_real - self._now())
+
+    def set(self, name: str, local_delay: float, *, pid_label: str = "") -> TimerRecord:
+        """(Re)set the named timer to fire ``local_delay`` local seconds from now."""
+        if local_delay < 0:
+            raise SchedulingError(f"timer {name!r} set with negative delay {local_delay}")
+        self.cancel(name)
+        now = self._now()
+        real_delay = self._clock.real_duration(local_delay)
+        fires_at = now + real_delay
+        epoch = self._epoch
+        label = f"timer:{pid_label}:{name}" if pid_label else f"timer:{name}"
+        handle = self._schedule(fires_at, lambda: self._fire(name, epoch), label=label)
+        record = TimerRecord(
+            name=name,
+            handle=handle,
+            set_at_real=now,
+            fires_at_real=fires_at,
+            local_delay=local_delay,
+            epoch=epoch,
+        )
+        self._pending[name] = record
+        return record
+
+    def cancel(self, name: str) -> bool:
+        """Cancel the named timer if pending.  Returns True if one was cancelled."""
+        record = self._pending.pop(name, None)
+        if record is None:
+            return False
+        if not record.handle.cancelled:
+            self._cancel(record.handle)
+        return True
+
+    def invalidate_all(self) -> None:
+        """Cancel every pending timer and bump the epoch (crash/restart path)."""
+        for name in list(self._pending):
+            self.cancel(name)
+        self._epoch += 1
+
+    def _fire(self, name: str, epoch: int) -> None:
+        if epoch != self._epoch:
+            # Timer belongs to a previous incarnation; drop silently.
+            return
+        record = self._pending.pop(name, None)
+        if record is None:
+            # Cancelled between scheduling and firing (should have been
+            # caught by handle cancellation, but be defensive).
+            return
+        self._on_fire(name)

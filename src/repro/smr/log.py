@@ -1,0 +1,92 @@
+"""The replicated log: slot-indexed decided commands.
+
+Each process owns one :class:`ReplicatedLog`.  Safety of the underlying
+consensus guarantees that two processes never learn different commands for
+the same slot; the log enforces that locally (a conflicting ``learn`` raises)
+so any protocol bug surfaces immediately rather than corrupting downstream
+state machines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = ["ReplicatedLog"]
+
+
+class ReplicatedLog:
+    """Slot → decided command, with contiguous-prefix tracking."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, slot: int) -> bool:
+        return slot in self._entries
+
+    def __iter__(self) -> Iterator[Tuple[int, Any]]:
+        return iter(sorted(self._entries.items()))
+
+    def get(self, slot: int) -> Optional[Any]:
+        """The decided command of ``slot``, or None if not yet learned."""
+        return self._entries.get(slot)
+
+    def learn(self, slot: int, command: Any) -> bool:
+        """Record that ``slot`` decided ``command``.
+
+        Returns True if this was new information.  Learning the same command
+        again is a no-op; learning a *different* command for a decided slot
+        raises (it would mean consensus safety was violated).
+        """
+        if slot < 0:
+            raise ProtocolError(f"slot must be non-negative, got {slot}")
+        if slot in self._entries:
+            if self._entries[slot] != command:
+                raise ProtocolError(
+                    f"slot {slot} already decided {self._entries[slot]!r}, "
+                    f"refusing to overwrite with {command!r}"
+                )
+            return False
+        self._entries[slot] = command
+        return True
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def decided_slots(self) -> List[int]:
+        return sorted(self._entries)
+
+    @property
+    def highest_slot(self) -> int:
+        """Highest decided slot, or −1 if the log is empty."""
+        return max(self._entries) if self._entries else -1
+
+    def first_gap(self) -> int:
+        """The lowest slot that has not been decided yet."""
+        slot = 0
+        while slot in self._entries:
+            slot += 1
+        return slot
+
+    def contiguous_prefix(self) -> List[Any]:
+        """Commands of slots ``0 .. first_gap() - 1`` in order (safe to apply)."""
+        prefix = []
+        slot = 0
+        while slot in self._entries:
+            prefix.append(self._entries[slot])
+            slot += 1
+        return prefix
+
+    def snapshot(self) -> Dict[int, Any]:
+        """Copy of the whole log (for persistence)."""
+        return dict(self._entries)
+
+    @classmethod
+    def restore(cls, snapshot: Optional[Dict[int, Any]]) -> "ReplicatedLog":
+        log = cls()
+        for slot, command in (snapshot or {}).items():
+            log.learn(int(slot), command)
+        return log

@@ -1,0 +1,105 @@
+"""Message vocabulary of the multi-decree (SMR) variant.
+
+The phase structure is the same as single-decree Modified Paxos, with two
+differences:
+
+* phase 1 covers *all* slots at once — a ``MultiPhase1b`` reply carries the
+  sender's votes for every slot it has accepted a value in (and the decided
+  entries it already knows, which doubles as catch-up for restarted
+  processes);
+* phase 2 messages name the slot they are about.
+
+Commands enter the system as :class:`CommandRequest` messages: a process that
+is not the current ballot owner forwards the request to the owner of its
+promised ballot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.net.message import Message
+
+__all__ = [
+    "CommandRequest",
+    "MultiPhase1a",
+    "MultiPhase1b",
+    "MultiPhase2a",
+    "MultiPhase2b",
+    "SlotDecision",
+]
+
+
+@dataclass(frozen=True)
+class CommandRequest(Message):
+    """A client command submitted at (or forwarded to) a process."""
+
+    kind = "cmd_request"
+
+    command_id: str
+    command: Any
+    origin: int
+
+
+@dataclass(frozen=True)
+class MultiPhase1a(Message):
+    """Prepare for every slot at once."""
+
+    kind = "mphase1a"
+
+    mbal: int
+
+
+@dataclass(frozen=True)
+class MultiPhase1b(Message):
+    """Promise carrying per-slot votes and already-decided entries.
+
+    ``votes`` maps slot → (voted ballot, voted value); ``decided`` maps
+    slot → decided command.  Both are tuples of pairs (not dicts) so the
+    message stays hashable/frozen.
+    """
+
+    kind = "mphase1b"
+
+    mbal: int
+    votes: Tuple[Tuple[int, Tuple[int, Any]], ...]
+    decided: Tuple[Tuple[int, Any], ...]
+
+    def votes_dict(self) -> Dict[int, Tuple[int, Any]]:
+        return {slot: vote for slot, vote in self.votes}
+
+    def decided_dict(self) -> Dict[int, Any]:
+        return {slot: value for slot, value in self.decided}
+
+
+@dataclass(frozen=True)
+class MultiPhase2a(Message):
+    """Accept request for one slot."""
+
+    kind = "mphase2a"
+
+    mbal: int
+    slot: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class MultiPhase2b(Message):
+    """Accepted: the sender accepted ``value`` for ``slot`` in ballot ``mbal``."""
+
+    kind = "mphase2b"
+
+    mbal: int
+    slot: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class SlotDecision(Message):
+    """Catch-up announcement of one decided slot."""
+
+    kind = "slot_decision"
+
+    slot: int
+    value: Any

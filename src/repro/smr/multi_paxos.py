@@ -1,0 +1,378 @@
+"""Multi-decree Modified Paxos: one ballot (and one phase 1) for every slot.
+
+The session machinery — session-gated Start Phase 1, the ≥4δ session timer,
+the ε keep-alive, session-entry re-broadcasts — is identical to the
+single-decree algorithm in :mod:`repro.core.modified_paxos`; what changes is
+that a ballot covers the whole log:
+
+* a ``MultiPhase1b`` promise reports the sender's accepted values for *all*
+  slots (plus the decided entries it knows, which doubles as catch-up for
+  restarted processes);
+* once the owner of the current ballot holds promises from a majority it is
+  *established*: it re-proposes every slot that any promise voted for (and
+  fills gaps with no-ops), and from then on a new command costs only one
+  phase-2 round — the paper's "phase 1 is executed in advance for all
+  instances ... all nonfaulty processes decide within 3 message delays when
+  the system is stable";
+* commands submitted at a non-owner are forwarded to the owner of the ballot
+  that process has promised (one extra message delay).
+
+Log entries are ``(command_id, command)`` pairs so duplicate submissions can
+be recognised; like any at-least-once SMR pipeline, a command can in rare
+interleavings be decided in two slots (the owner deduplicates against its own
+log and in-flight proposals, but a brand-new leader may not know about an
+in-flight duplicate).  State machines in :mod:`repro.smr.state_machine` are
+idempotent under such duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.consensus.base import ConsensusProcess, ProtocolBuilder
+from repro.consensus.quorum import ValueQuorum
+from repro.core.sessions import (
+    SessionTracker,
+    initial_ballot,
+    next_session_ballot,
+    owner_of,
+    session_of,
+)
+from repro.net.message import Message
+from repro.smr.log import ReplicatedLog
+from repro.smr.messages import (
+    CommandRequest,
+    MultiPhase1a,
+    MultiPhase1b,
+    MultiPhase2a,
+    MultiPhase2b,
+    SlotDecision,
+)
+from repro.smr.workload import CommandSchedule
+
+__all__ = ["MultiPaxosSmrProcess", "MultiPaxosSmrBuilder"]
+
+NOOP = ("noop",)
+
+
+class MultiPaxosSmrProcess(ConsensusProcess):
+    """One replica of the multi-decree Modified Paxos state-machine service."""
+
+    SESSION_TIMER = "session"
+    KEEPALIVE_TIMER = "keepalive"
+    SUBMIT_TIMER_PREFIX = "submit-"
+
+    def __init__(self, schedule: Optional[List[Tuple[float, str, Any]]] = None) -> None:
+        super().__init__()
+        self._schedule = list(schedule or [])
+
+    # ------------------------------------------------------------------ lifecycle
+    def on_start(self) -> None:
+        n = self.n
+        # Volatile state.
+        self._tracker = SessionTracker(n)
+        self._session_timer_expired = False
+        self._sent_recently = False
+        self._promises: Dict[int, Dict[int, MultiPhase1b]] = {}
+        self._accept_votes = ValueQuorum(self.quorum)
+        self._proposed: Dict[Tuple[int, int], Any] = {}  # (ballot, slot) -> value
+        self._established_ballot: Optional[int] = None
+        self._next_slot = 0
+        self._pending: Dict[str, Any] = {}  # command_id -> command awaiting a decision
+        self._seen_requests: set[str] = set()
+
+        # Durable state.
+        self.mbal: int = self.recall("mbal", initial_ballot(self.pid, n))
+        self.accepted: Dict[int, Tuple[int, Any]] = self.recall("accepted", {})
+        self.log = ReplicatedLog.restore(self.recall("log", {}))
+
+        self.ctx.emit("session_enter", session=self.session, ballot=self.mbal, via="start")
+        self._broadcast_phase1a()
+        self._arm_session_timer()
+        self._arm_keepalive()
+        self._schedule_submissions()
+
+    @property
+    def session(self) -> int:
+        return session_of(self.mbal, self.n)
+
+    @property
+    def is_established_leader(self) -> bool:
+        """Whether this process completed phase 1 for its current ballot."""
+        return (
+            self._established_ballot == self.mbal and owner_of(self.mbal, self.n) == self.pid
+        )
+
+    # ------------------------------------------------------------------ timers
+    def _arm_session_timer(self) -> None:
+        self.ctx.set_timer(self.SESSION_TIMER, self.ctx.params.session_timeout_local)
+        self._session_timer_expired = False
+
+    def _arm_keepalive(self) -> None:
+        self.ctx.set_timer(self.KEEPALIVE_TIMER, self.epsilon * (1.0 + self.rho))
+
+    def _schedule_submissions(self) -> None:
+        now_local = self.ctx.local_time()
+        for index, (submit_local, command_id, command) in enumerate(self._schedule):
+            delay = max(0.0, submit_local - now_local)
+            self.ctx.set_timer(f"{self.SUBMIT_TIMER_PREFIX}{index}", delay)
+
+    def on_timer(self, name: str) -> None:
+        if name == self.SESSION_TIMER:
+            self._session_timer_expired = True
+            self._try_start_phase1()
+        elif name == self.KEEPALIVE_TIMER:
+            self._on_keepalive()
+        elif name.startswith(self.SUBMIT_TIMER_PREFIX):
+            index = int(name[len(self.SUBMIT_TIMER_PREFIX):])
+            _, command_id, command = self._schedule[index]
+            self._submit(command_id, command)
+
+    def _on_keepalive(self) -> None:
+        if not self._sent_recently:
+            self._broadcast_phase1a()
+        self._sent_recently = False
+        self._dispatch_pending()
+        self._arm_keepalive()
+
+    # ------------------------------------------------------------------ client commands
+    def _submit(self, command_id: str, command: Any) -> None:
+        """A client command arrives at this replica."""
+        self._seen_requests.add(command_id)
+        self._pending[command_id] = command
+        self.ctx.emit("command_submit", command_id=command_id)
+        self._dispatch_pending()
+
+    def _dispatch_pending(self) -> None:
+        """Assign pending commands if leading, otherwise forward them."""
+        undecided = {
+            command_id: command
+            for command_id, command in self._pending.items()
+            if not self._already_logged(command_id)
+        }
+        if not undecided:
+            return
+        if self.is_established_leader:
+            for command_id, command in sorted(undecided.items()):
+                self._assign(command_id, command)
+            return
+        owner = owner_of(self.mbal, self.n)
+        if owner != self.pid:
+            for command_id, command in sorted(undecided.items()):
+                self.ctx.send(
+                    CommandRequest(command_id=command_id, command=command, origin=self.pid),
+                    owner,
+                )
+
+    def _already_logged(self, command_id: str) -> bool:
+        for _, value in self.log:
+            if isinstance(value, tuple) and len(value) == 2 and value[0] == command_id:
+                return True
+        return False
+
+    def _already_proposed(self, command_id: str) -> bool:
+        for value in self._proposed.values():
+            if isinstance(value, tuple) and len(value) == 2 and value[0] == command_id:
+                return True
+        return False
+
+    def _assign(self, command_id: str, command: Any) -> None:
+        if self._already_logged(command_id) or self._already_proposed(command_id):
+            return
+        slot = self._next_slot
+        self._next_slot += 1
+        self.ctx.emit("command_assign", command_id=command_id, slot=slot, ballot=self.mbal)
+        self._send_phase2a(self.mbal, slot, (command_id, command))
+
+    # ------------------------------------------------------------------ messages
+    def on_message(self, message: Message, sender: int) -> None:
+        ballot = getattr(message, "mbal", -1)
+        if ballot >= 0:
+            self._tracker.observe(ballot, sender)
+        # Leader-stability acknowledgement (the paper's "appropriate
+        # acknowledgement messages"): any message from the *owner* of our
+        # current ballot is evidence that the serving leader is alive, so the
+        # session timer is re-armed instead of expiring and churning ballots
+        # every 4δ while the service is healthy.  If the owner crashes its ε
+        # keep-alives stop and the timer expires ≥ 4δ later, restoring the
+        # single-decree recovery behaviour.
+        if ballot == self.mbal and sender == owner_of(self.mbal, self.n):
+            self._arm_session_timer()
+
+        if isinstance(message, MultiPhase1a):
+            self._on_phase1a(message)
+        elif isinstance(message, MultiPhase1b):
+            self._on_phase1b(message, sender)
+        elif isinstance(message, MultiPhase2a):
+            self._on_phase2a(message)
+        elif isinstance(message, MultiPhase2b):
+            self._on_phase2b(message, sender)
+        elif isinstance(message, SlotDecision):
+            self._learn(message.slot, message.value)
+        elif isinstance(message, CommandRequest):
+            self._on_command_request(message)
+
+        self._try_start_phase1()
+
+    def _on_command_request(self, message: CommandRequest) -> None:
+        if message.command_id in self._seen_requests:
+            return
+        self._seen_requests.add(message.command_id)
+        self._pending.setdefault(message.command_id, message.command)
+        self._dispatch_pending()
+
+    # -- phase 1 ----------------------------------------------------------------
+    def _on_phase1a(self, message: MultiPhase1a) -> None:
+        if message.mbal > self.mbal:
+            self._advance_ballot(message.mbal, via="phase1a")
+        if message.mbal >= self.mbal:
+            owner = owner_of(message.mbal, self.n)
+            votes = tuple(
+                (slot, (voted_bal, voted_val))
+                for slot, (voted_bal, voted_val) in sorted(self.accepted.items())
+                if slot not in self.log
+            )
+            decided = tuple(sorted(self.log.snapshot().items()))
+            self.ctx.send(
+                MultiPhase1b(mbal=message.mbal, votes=votes, decided=decided), owner
+            )
+
+    def _on_phase1b(self, message: MultiPhase1b, sender: int) -> None:
+        # Decided entries are useful regardless of the ballot.
+        for slot, value in message.decided_dict().items():
+            self._learn(slot, value)
+        if owner_of(message.mbal, self.n) != self.pid or message.mbal != self.mbal:
+            return
+        # Targeted catch-up: the promise shows which decisions the sender is
+        # missing (a replica that restarted after stabilization, say); push
+        # them directly so it converges within O(δ) of its restart.
+        senders_log = message.decided_dict()
+        for slot, value in self.log:
+            if slot not in senders_log and sender != self.pid:
+                self.ctx.send(SlotDecision(slot=slot, value=value), sender)
+        promises = self._promises.setdefault(message.mbal, {})
+        promises.setdefault(sender, message)
+        if len(promises) >= self.quorum and self._established_ballot != message.mbal:
+            self._establish(message.mbal, promises)
+
+    def _establish(self, ballot: int, promises: Dict[int, MultiPhase1b]) -> None:
+        """Complete phase 1 for the whole log and become the serving leader."""
+        best_votes: Dict[int, Tuple[int, Any]] = {}
+        for promise in promises.values():
+            for slot, (voted_bal, voted_val) in promise.votes_dict().items():
+                if slot not in best_votes or voted_bal > best_votes[slot][0]:
+                    best_votes[slot] = (voted_bal, voted_val)
+        highest_known = max(
+            [self.log.highest_slot]
+            + [slot for slot in best_votes]
+            + [slot for slot in self.accepted],
+            default=-1,
+        )
+        self._established_ballot = ballot
+        self._next_slot = highest_known + 1
+        self.ctx.emit("leader_established", ballot=ballot, next_slot=self._next_slot)
+        # Re-propose every voted, undecided slot and fill gaps with no-ops so
+        # the decided prefix can become contiguous.
+        for slot in range(0, self._next_slot):
+            if slot in self.log:
+                continue
+            if slot in best_votes:
+                value = best_votes[slot][1]
+            else:
+                value = (f"noop-{ballot}-{slot}", NOOP)
+            self._send_phase2a(ballot, slot, value)
+        self._dispatch_pending()
+
+    # -- phase 2 --------------------------------------------------------------------
+    def _send_phase2a(self, ballot: int, slot: int, value: Any) -> None:
+        self._proposed[(ballot, slot)] = value
+        self._sent_recently = True
+        self.ctx.emit("phase2a", ballot=ballot, slot=slot)
+        self.ctx.broadcast(MultiPhase2a(mbal=ballot, slot=slot, value=value))
+
+    def _on_phase2a(self, message: MultiPhase2a) -> None:
+        if message.mbal < self.mbal:
+            return
+        if message.mbal > self.mbal:
+            self._advance_ballot(message.mbal, via="phase2a")
+        self.accepted[message.slot] = (message.mbal, message.value)
+        self._persist()
+        self.ctx.broadcast(
+            MultiPhase2b(mbal=message.mbal, slot=message.slot, value=message.value)
+        )
+
+    def _on_phase2b(self, message: MultiPhase2b, sender: int) -> None:
+        key = (message.mbal, message.slot)
+        self._accept_votes.add(key, sender, message.value)
+        if self._accept_votes.reached(key):
+            value = self._accept_votes.quorum_value(key)
+            if value is not None:
+                self._learn(message.slot, value)
+
+    def _learn(self, slot: int, value: Any) -> None:
+        if not self.log.learn(slot, value):
+            return
+        self._persist()
+        command_id = value[0] if isinstance(value, tuple) and len(value) == 2 else None
+        self.ctx.emit("slot_decide", slot=slot, command_id=command_id)
+        if command_id is not None:
+            self._pending.pop(command_id, None)
+        if slot >= self._next_slot:
+            self._next_slot = slot + 1
+
+    # ------------------------------------------------------------------ Start Phase 1
+    def _try_start_phase1(self) -> None:
+        if not self._session_timer_expired:
+            return
+        if self.session > 0 and not self._tracker.heard_majority_in(self.session):
+            return
+        new_ballot = next_session_ballot(self.mbal, self.pid, self.n)
+        self.ctx.emit(
+            "start_phase1",
+            ballot=new_ballot,
+            session=session_of(new_ballot, self.n),
+            previous_session=self.session,
+        )
+        self._advance_ballot(new_ballot, via="start_phase1")
+
+    def _advance_ballot(self, new_ballot: int, via: str) -> None:
+        old_session = self.session
+        self.mbal = new_ballot
+        self._persist()
+        if self._established_ballot is not None and self._established_ballot != new_ballot:
+            self._established_ballot = None
+        if session_of(new_ballot, self.n) > old_session:
+            self._enter_session(via)
+
+    def _enter_session(self, via: str) -> None:
+        self._tracker.prune_below(self.session)
+        self._session_timer_expired = False
+        self.ctx.emit("session_enter", session=self.session, ballot=self.mbal, via=via)
+        self._arm_session_timer()
+        self._broadcast_phase1a()
+
+    # ------------------------------------------------------------------ helpers
+    def _broadcast_phase1a(self) -> None:
+        self._sent_recently = True
+        self.ctx.broadcast(MultiPhase1a(mbal=self.mbal))
+
+    def _persist(self) -> None:
+        self.persist(mbal=self.mbal, accepted=self.accepted, log=self.log.snapshot())
+
+
+class MultiPaxosSmrBuilder(ProtocolBuilder):
+    """Builds SMR replicas, each with its own client command schedule."""
+
+    name = "multi-paxos-smr"
+
+    def __init__(self, schedule: Optional[CommandSchedule] = None) -> None:
+        super().__init__()
+        self.schedule = schedule if schedule is not None else CommandSchedule()
+
+    def create(self, pid: int) -> MultiPaxosSmrProcess:
+        return MultiPaxosSmrProcess(schedule=self.schedule.for_pid(pid))
+
+    def invariant_checks(self):
+        from repro.analysis.invariants import check_session_entry_rule
+
+        return {"session-entry-rule": check_session_entry_rule}

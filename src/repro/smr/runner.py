@@ -1,0 +1,134 @@
+"""Run one SMR scenario end to end.
+
+The single-decree harness (:mod:`repro.harness.runner`) stops when every
+process has *decided*; the SMR layer instead stops when every expected
+replica has learned every scheduled command (or the horizon is reached), and
+its safety check is per-slot log consistency plus identical state-machine
+digests rather than the single-decree spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.analysis.invariants import InvariantReport, check_session_entry_rule
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import Simulator
+from repro.smr.metrics import (
+    CommandRecord,
+    check_log_consistency,
+    command_latencies,
+    learned_prefix_lengths,
+    replica_digests,
+)
+from repro.smr.multi_paxos import MultiPaxosSmrBuilder, MultiPaxosSmrProcess
+from repro.smr.state_machine import KeyValueStore
+from repro.smr.workload import CommandSchedule
+from repro.workloads.scenario import Scenario
+
+__all__ = ["SmrRunResult", "run_smr"]
+
+
+@dataclass
+class SmrRunResult:
+    """Everything produced by one SMR run."""
+
+    scenario: Scenario
+    schedule: CommandSchedule
+    simulator: Simulator
+    commands: Dict[str, CommandRecord] = field(default_factory=dict)
+    prefix_lengths: Dict[int, int] = field(default_factory=dict)
+    digests: Dict[int, object] = field(default_factory=dict)
+    consistency_checks: int = 0
+    invariants: Dict[str, InvariantReport] = field(default_factory=dict)
+
+    @property
+    def all_commands_learned_everywhere(self) -> bool:
+        expected = set(self.scenario.deciders())
+        return all(
+            expected.issubset(record.learned_times.keys()) for record in self.commands.values()
+        ) and len(self.commands) == self.schedule.total_commands
+
+    @property
+    def replicas_agree(self) -> bool:
+        return len(set(map(repr, self.digests.values()))) <= 1
+
+    def worst_submitter_latency(self) -> Optional[float]:
+        latencies = [
+            record.submitter_latency
+            for record in self.commands.values()
+            if record.submitter_latency is not None
+        ]
+        return max(latencies) if latencies else None
+
+    def worst_global_latency(self) -> Optional[float]:
+        latencies = [
+            record.global_latency
+            for record in self.commands.values()
+            if record.global_latency is not None
+        ]
+        return max(latencies) if latencies else None
+
+
+def run_smr(
+    scenario: Scenario,
+    schedule: CommandSchedule,
+    *,
+    machine_factory: Callable[[], object] = KeyValueStore,
+    enforce_consistency: bool = True,
+) -> SmrRunResult:
+    """Execute the multi-decree Modified Paxos service under ``scenario``."""
+    builder = MultiPaxosSmrBuilder(schedule=schedule)
+    config = scenario.config
+    network_rng = SeededRng(config.seed, label="net").fork(scenario.name)
+    network = scenario.build_network(config, network_rng)
+
+    simulator = Simulator(
+        config=config,
+        process_factory=builder.create,
+        network=network,
+        initial_values=scenario.initial_values,
+    )
+    builder.attach(simulator)
+    scenario.fault_plan.validate(config.n, ts=config.ts)
+    scenario.fault_plan.apply(simulator)
+    if scenario.post_setup is not None:
+        scenario.post_setup(simulator)
+
+    expected_replicas = set(scenario.deciders())
+    expected_commands = set(schedule.command_ids)
+
+    def everyone_caught_up(sim: Simulator) -> bool:
+        if not expected_commands:
+            return False
+        learned: Dict[str, set] = {}
+        for node in sim.nodes.values():
+            process = node.process
+            if not isinstance(process, MultiPaxosSmrProcess) or node.pid not in expected_replicas:
+                continue
+            for _, value in process.log:
+                if isinstance(value, tuple) and len(value) == 2:
+                    learned.setdefault(value[0], set()).add(node.pid)
+        return all(
+            expected_replicas.issubset(learned.get(command_id, set()))
+            for command_id in expected_commands
+        )
+
+    simulator.run(stop_when=everyone_caught_up)
+
+    result = SmrRunResult(
+        scenario=scenario,
+        schedule=schedule,
+        simulator=simulator,
+        commands=command_latencies(simulator),
+        prefix_lengths=learned_prefix_lengths(simulator),
+        digests=replica_digests(simulator, machine_factory),
+        invariants={
+            "session-entry-rule": check_session_entry_rule(simulator.trace, config.n)
+        },
+    )
+    result.consistency_checks = check_log_consistency(simulator)
+    if enforce_consistency:
+        result.invariants["session-entry-rule"].raise_if_violated()
+    return result

@@ -1,0 +1,77 @@
+"""Append-only journal with replay.
+
+Some protocol variants (and several tests) want an audit trail of every
+durable state transition rather than just the latest value.  The journal
+records ``(sequence, key, value)`` entries and can rebuild the latest-value
+view, which is how a real implementation would recover a
+:class:`repro.storage.stable.StableStore` from a write-ahead log.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import StorageError
+
+__all__ = ["Journal", "JournalEntry"]
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One durable append."""
+
+    seq: int
+    key: str
+    value: Any
+
+
+class Journal:
+    """Append-only log of key/value writes for one process."""
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._entries: List[JournalEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[JournalEntry]:
+        return iter(self._entries)
+
+    def append(self, key: str, value: Any) -> JournalEntry:
+        """Durably append a write and return the entry."""
+        if not isinstance(key, str):
+            raise StorageError("journal keys must be strings")
+        entry = JournalEntry(seq=len(self._entries), key=key, value=copy.deepcopy(value))
+        self._entries.append(entry)
+        return entry
+
+    def last(self, key: str) -> Optional[JournalEntry]:
+        """Most recent entry for ``key``, or None."""
+        for entry in reversed(self._entries):
+            if entry.key == key:
+                return entry
+        return None
+
+    def replay(self) -> Dict[str, Any]:
+        """Rebuild the latest-value view of the journal."""
+        state: Dict[str, Any] = {}
+        for entry in self._entries:
+            state[entry.key] = copy.deepcopy(entry.value)
+        return state
+
+    def truncate(self, keep_last: int) -> int:
+        """Drop all but the last ``keep_last`` entries; returns how many were dropped.
+
+        Models log compaction; replay after truncation only reflects the kept
+        suffix, so callers should checkpoint the prefix first (as
+        :class:`repro.storage.stable.StableStore` snapshots do).
+        """
+        if keep_last < 0:
+            raise StorageError("keep_last must be non-negative")
+        dropped = max(0, len(self._entries) - keep_last)
+        if dropped:
+            self._entries = self._entries[dropped:]
+        return dropped

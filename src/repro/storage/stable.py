@@ -1,0 +1,109 @@
+"""Per-process durable key/value store.
+
+The store is deliberately simple — a dict with copy-on-write snapshots and a
+write counter — because what matters for the reproduction is the *crash
+semantics*: values written before a crash are visible after restart, values
+held only in the protocol object's attributes are not.  Values must be
+picklable/copyable plain data; storing mutable objects and mutating them in
+place would defeat the crash model, so writes deep-copy by default.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, Optional
+
+from repro.errors import StorageError
+
+__all__ = ["StableStore"]
+
+
+class StableStore:
+    """Durable key/value storage for one process.
+
+    Args:
+        owner: Process id, used only for error messages and tracing.
+        deep_copy: Whether to deep-copy values on write and read.  Defaults
+            to True so protocols cannot accidentally share mutable state
+            with their "disk".
+    """
+
+    def __init__(self, owner: int, deep_copy: bool = True) -> None:
+        self.owner = owner
+        self._deep_copy = deep_copy
+        self._data: Dict[str, Any] = {}
+        self._writes = 0
+        self._reads = 0
+
+    def __repr__(self) -> str:
+        return f"StableStore(owner={self.owner}, keys={sorted(self._data)})"
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    @property
+    def write_count(self) -> int:
+        """Number of writes performed (used to account for sync costs)."""
+        return self._writes
+
+    @property
+    def read_count(self) -> int:
+        return self._reads
+
+    def put(self, key: str, value: Any) -> None:
+        """Durably store ``value`` under ``key``."""
+        if not isinstance(key, str):
+            raise StorageError(f"stable-store keys must be strings, got {type(key).__name__}")
+        self._data[key] = copy.deepcopy(value) if self._deep_copy else value
+        self._writes += 1
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Read the value stored under ``key`` or ``default`` if absent."""
+        self._reads += 1
+        if key not in self._data:
+            return default
+        value = self._data[key]
+        return copy.deepcopy(value) if self._deep_copy else value
+
+    def require(self, key: str) -> Any:
+        """Read a value that must exist; raises :class:`StorageError` otherwise."""
+        if key not in self._data:
+            raise StorageError(f"process {self.owner}: required key {key!r} missing")
+        return self.get(key)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` if present; returns True if something was removed."""
+        if key in self._data:
+            del self._data[key]
+            self._writes += 1
+            return True
+        return False
+
+    def update(self, values: Dict[str, Any]) -> None:
+        """Store several keys atomically (one logical write)."""
+        for key in values:
+            if not isinstance(key, str):
+                raise StorageError("stable-store keys must be strings")
+        for key, value in values.items():
+            self._data[key] = copy.deepcopy(value) if self._deep_copy else value
+        self._writes += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep copy of the whole store (for checkpointing and assertions)."""
+        return copy.deepcopy(self._data)
+
+    def restore(self, snapshot: Dict[str, Any]) -> None:
+        """Replace the store contents with a previously taken snapshot."""
+        self._data = copy.deepcopy(snapshot)
+        self._writes += 1
+
+    def clear(self) -> None:
+        """Erase everything (models a disk wipe; not used by the paper's model)."""
+        self._data.clear()
+        self._writes += 1

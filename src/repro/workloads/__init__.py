@@ -1,0 +1,27 @@
+"""Workloads: scenario builders for the experiments.
+
+A :class:`repro.workloads.scenario.Scenario` bundles everything one run
+needs apart from the protocol: the simulation configuration, how to build
+the network (synchrony model + adversary), the fault plan, the initial
+values, an optional post-setup hook (used to inject in-flight pre-``TS``
+messages), and which processes are expected to decide.
+"""
+
+from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
+from repro.workloads.composite import kitchen_sink_scenario
+from repro.workloads.coordinator_faults import coordinator_crash_scenario
+from repro.workloads.obsolete import obsolete_ballot_scenario
+from repro.workloads.restarts import restart_after_stability_scenario
+from repro.workloads.scenario import Scenario
+from repro.workloads.stable import stable_scenario
+
+__all__ = [
+    "Scenario",
+    "coordinator_crash_scenario",
+    "kitchen_sink_scenario",
+    "lossy_chaos_scenario",
+    "obsolete_ballot_scenario",
+    "partitioned_chaos_scenario",
+    "restart_after_stability_scenario",
+    "stable_scenario",
+]

@@ -1,0 +1,151 @@
+"""Pre-stabilization chaos workloads (experiments E1, E4, E6, E8).
+
+The point of these scenarios is to make the period before ``TS`` genuinely
+hostile — no quorum can communicate, messages are lost or deferred past
+``TS``, some processes crash and some of those restart — and then measure
+how long after ``TS`` each protocol needs to decide.
+
+Two flavours are provided:
+
+* :func:`partitioned_chaos_scenario` keeps the processes split into minority
+  groups before ``TS`` (so no protocol can decide early, making the
+  post-``TS`` lag measurement clean) and additionally lets a fraction of
+  cross-partition messages leak with large delays, including past ``TS``;
+* :func:`lossy_chaos_scenario` uses independent random loss/delay/deferral
+  per message, which is messier but statistically may let a protocol decide
+  before ``TS`` on lucky seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.schedules import crash_before_stability
+from repro.net.adversary import (
+    PartitionAdversary,
+    RandomChaosAdversary,
+    WorstCaseDelayAdversary,
+)
+from repro.net.network import Network
+from repro.net.partition import minority_groups
+from repro.net.synchrony import EventualSynchrony
+from repro.params import TimingParams
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import SimulationConfig
+from repro.workloads.scenario import Scenario
+
+__all__ = ["partitioned_chaos_scenario", "lossy_chaos_scenario"]
+
+
+def _config(
+    n: int, params: TimingParams, ts: float, seed: int, max_time: Optional[float]
+) -> SimulationConfig:
+    default_horizon = ts + 400.0 * params.delta
+    return SimulationConfig(
+        n=n,
+        params=params,
+        ts=ts,
+        seed=seed,
+        max_time=max_time if max_time is not None else default_horizon,
+    )
+
+
+def partitioned_chaos_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    ts: Optional[float] = None,
+    seed: int = 0,
+    with_crashes: bool = True,
+    leak_probability: float = 0.05,
+    worst_case_post_delays: bool = False,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """Minority partitions plus crashes/restarts before ``TS``.
+
+    With ``worst_case_post_delays`` every message sent after stabilization
+    takes (almost) the full ``δ`` instead of a uniformly random delay,
+    pushing measured decision lags toward the analytic worst case.
+    """
+    params = params if params is not None else TimingParams()
+    ts = ts if ts is not None else 10.0 * params.delta
+    config = _config(n, params, ts, seed, max_time)
+
+    plan_rng = SeededRng(seed, label="chaos-faults")
+    fault_plan = (
+        crash_before_stability(n, ts, plan_rng, allow_recovery=True)
+        if with_crashes and n >= 3
+        else crash_before_stability(n, ts, plan_rng, max_faulty=0)
+    )
+
+    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
+        spec = minority_groups(cfg.n, rng.fork("partition"))
+        adversary = PartitionAdversary(
+            spec=spec,
+            delta=cfg.params.delta,
+            leak_probability=leak_probability,
+            leak_max_delay=cfg.ts + 2.0 * cfg.params.delta,
+        )
+        if worst_case_post_delays:
+            adversary = WorstCaseDelayAdversary(delta=cfg.params.delta, pre_ts=adversary)
+        model = EventualSynchrony(ts=cfg.ts, delta=cfg.params.delta, adversary=adversary)
+        return Network(model=model, rng=rng)
+
+    suffix = "-worstdelay" if worst_case_post_delays else ""
+    return Scenario(
+        name=f"partitioned-chaos-n{n}{suffix}",
+        config=config,
+        build_network=build_network,
+        fault_plan=fault_plan,
+        notes=(
+            "pre-TS: minority partitions (no quorum can form), occasional leaked "
+            "messages with long delays, crashes and some restarts; post-TS: "
+            + ("every delivery takes the full delta" if worst_case_post_delays else "synchronous")
+        ),
+    )
+
+
+def lossy_chaos_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    ts: Optional[float] = None,
+    seed: int = 0,
+    drop_probability: float = 0.85,
+    defer_probability: float = 0.05,
+    with_crashes: bool = True,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """Independent random loss, delay, deferral, and duplication before ``TS``."""
+    params = params if params is not None else TimingParams()
+    ts = ts if ts is not None else 10.0 * params.delta
+    config = _config(n, params, ts, seed, max_time)
+
+    plan_rng = SeededRng(seed, label="chaos-faults")
+    fault_plan = (
+        crash_before_stability(n, ts, plan_rng, allow_recovery=True)
+        if with_crashes and n >= 3
+        else crash_before_stability(n, ts, plan_rng, max_faulty=0)
+    )
+
+    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
+        adversary = RandomChaosAdversary(
+            ts=cfg.ts,
+            delta=cfg.params.delta,
+            drop_probability=drop_probability,
+            defer_probability=defer_probability,
+            max_defer=5.0 * cfg.params.delta,
+            max_delay_factor=4.0,
+            duplicate_prob=0.05,
+        )
+        model = EventualSynchrony(ts=cfg.ts, delta=cfg.params.delta, adversary=adversary)
+        return Network(model=model, rng=rng)
+
+    return Scenario(
+        name=f"lossy-chaos-n{n}",
+        config=config,
+        build_network=build_network,
+        fault_plan=fault_plan,
+        notes=(
+            "pre-TS: random loss/delay/deferral/duplication, crashes and some restarts; "
+            "post-TS: synchronous"
+        ),
+    )

@@ -1,0 +1,62 @@
+"""The scenario abstraction shared by all workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.net.network import Network
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import SimulationConfig, Simulator
+
+__all__ = ["Scenario"]
+
+NetworkFactory = Callable[[SimulationConfig, SeededRng], Network]
+PostSetupHook = Callable[[Simulator], None]
+
+
+@dataclass
+class Scenario:
+    """Everything one simulation run needs, minus the protocol.
+
+    Attributes:
+        name: Short identifier used in tables and traces.
+        config: The simulation configuration (n, timing constants, ts, seed).
+        build_network: Builds the network (synchrony model + adversary) for a
+            given configuration and randomness stream.
+        fault_plan: Crash/restart schedule (validated against the config).
+        initial_values: Proposals per process; None lets the simulator use
+            its defaults (distinct per-process values).
+        post_setup: Optional hook run after the simulator is built but before
+            it starts — used to inject in-flight pre-``TS`` messages.
+        expected_deciders: Pids expected to decide; None means every process
+            that is not left permanently crashed by the fault plan.
+        notes: Free-form description used in reports.
+    """
+
+    name: str
+    config: SimulationConfig
+    build_network: NetworkFactory
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    initial_values: Optional[List[Any]] = None
+    post_setup: Optional[PostSetupHook] = None
+    expected_deciders: Optional[List[int]] = None
+    notes: str = ""
+
+    def deciders(self) -> List[int]:
+        """Pids expected to decide in this scenario."""
+        if self.expected_deciders is not None:
+            return sorted(self.expected_deciders)
+        down_forever = self.fault_plan.final_down()
+        return [pid for pid in range(self.config.n) if pid not in down_forever]
+
+    def describe(self) -> str:
+        lines = [
+            f"scenario {self.name}: n={self.config.n} ts={self.config.ts:g} "
+            f"seed={self.config.seed} ({self.config.params.describe()})",
+            f"  faults: {self.fault_plan.describe()}",
+        ]
+        if self.notes:
+            lines.append(f"  notes: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Stable-from-the-start workload (experiment E7).
+
+With ``ts = 0`` the system is synchronous from the very beginning and there
+are no faults: this isolates the protocols' failure-free fast path, which
+the paper expects to be a small constant number of message delays.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.net.adversary import BenignAdversary
+from repro.net.network import Network
+from repro.net.synchrony import EventualSynchrony
+from repro.params import TimingParams
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import SimulationConfig
+from repro.workloads.scenario import Scenario
+
+__all__ = ["stable_scenario"]
+
+
+def stable_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    seed: int = 0,
+    initial_values: Optional[List[Any]] = None,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """A failure-free, synchronous-from-time-zero scenario."""
+    params = params if params is not None else TimingParams()
+    config = SimulationConfig(
+        n=n,
+        params=params,
+        ts=0.0,
+        seed=seed,
+        max_time=max_time if max_time is not None else 200.0 * params.delta,
+    )
+
+    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
+        model = EventualSynchrony(
+            ts=cfg.ts, delta=cfg.params.delta, adversary=BenignAdversary(cfg.params.delta)
+        )
+        return Network(model=model, rng=rng)
+
+    return Scenario(
+        name=f"stable-n{n}",
+        config=config,
+        build_network=build_network,
+        initial_values=initial_values,
+        notes="synchronous from t=0, no faults: failure-free fast path",
+    )

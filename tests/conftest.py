@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import default_experiment_params
+from repro.params import TimingParams
+
+
+@pytest.fixture
+def params() -> TimingParams:
+    """Timing constants with zero drift (exact arithmetic in kernel tests)."""
+    return TimingParams(delta=1.0, rho=0.0, epsilon=0.5)
+
+
+@pytest.fixture
+def drifting_params() -> TimingParams:
+    """Timing constants with a small clock drift (like the experiments)."""
+    return default_experiment_params()

@@ -1,0 +1,232 @@
+"""Shared test utilities.
+
+The most important helper is :class:`ContextHarness`: it builds a real
+:class:`repro.sim.process.ProcessContext` whose capabilities are backed by
+in-memory recorders instead of a simulator, so protocol classes can be unit
+tested one transition at a time (deliver a message, fire a timer, inspect
+what was sent / persisted / decided) without running an event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.params import TimingParams
+from repro.sim.process import Process, ProcessContext
+from repro.sim.rng import SeededRng
+from repro.storage.stable import StableStore
+
+__all__ = ["ContextHarness", "SentMessage", "make_params"]
+
+
+def make_params(**overrides: Any) -> TimingParams:
+    """TimingParams with fast-test defaults (δ=1, ρ=0, ε=0.5)."""
+    values = {"delta": 1.0, "rho": 0.0, "epsilon": 0.5}
+    values.update(overrides)
+    return TimingParams(**values)
+
+
+@dataclass(frozen=True)
+class SentMessage:
+    """One message captured by the harness."""
+
+    message: Any
+    dst: int
+
+
+@dataclass
+class ContextHarness:
+    """Drives a single protocol process without a simulator.
+
+    Typical usage::
+
+        harness = ContextHarness(pid=0, n=3)
+        process = ModifiedPaxosProcess()
+        harness.start(process, initial_value="v0")
+        harness.deliver(Phase1a(mbal=7), sender=1)
+        assert harness.sent_of_kind("phase1b")
+    """
+
+    pid: int = 0
+    n: int = 3
+    params: TimingParams = field(default_factory=make_params)
+    initial_local_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.storage = StableStore(owner=self.pid)
+        self.sent: List[SentMessage] = []
+        self.timers: Dict[str, float] = {}
+        self.cancelled: List[str] = []
+        self.decisions: List[Any] = []
+        self.emitted: List[Tuple[str, dict]] = []
+        self._local_time = self.initial_local_time
+        self.process: Optional[Process] = None
+        self.ctx = self._build_context()
+
+    # -- context construction ------------------------------------------------
+    def _build_context(self) -> ProcessContext:
+        return ProcessContext(
+            pid=self.pid,
+            n=self.n,
+            params=self.params,
+            storage=self.storage,
+            rng=SeededRng(self.pid, label=f"test-p{self.pid}"),
+            send=self._send,
+            set_timer=self._set_timer,
+            cancel_timer=self._cancel_timer,
+            timer_pending=lambda name: name in self.timers,
+            decide=self.decisions.append,
+            local_time=lambda: self._local_time,
+            emit=lambda event, fields: self.emitted.append((event, fields)),
+        )
+
+    def _send(self, message: Any, dst: int) -> None:
+        self.sent.append(SentMessage(message=message, dst=dst))
+
+    def _set_timer(self, name: str, local_delay: float) -> None:
+        self.timers[name] = local_delay
+
+    def _cancel_timer(self, name: str) -> bool:
+        if name in self.timers:
+            del self.timers[name]
+            self.cancelled.append(name)
+            return True
+        return False
+
+    # -- driving the process ----------------------------------------------------
+    def start(self, process: Process, initial_value: Any = "v") -> Process:
+        """Bind the process to this harness and run its ``on_start``."""
+        self.process = process
+        process.initial_value = initial_value
+        process.bind(self.ctx)
+        process.on_start()
+        return process
+
+    def restart(self, process: Process, initial_value: Any = "v") -> Process:
+        """Simulate a crash + restart: new process object, same storage."""
+        self.sent.clear()
+        self.timers.clear()
+        self.ctx = self._build_context()
+        return self.start(process, initial_value=initial_value)
+
+    def deliver(self, message: Any, sender: int) -> None:
+        assert self.process is not None, "call start() first"
+        self.process.on_message(message, sender)
+
+    def fire_timer(self, name: str) -> None:
+        """Fire a pending timer by name (removing it, like the real kernel)."""
+        assert self.process is not None, "call start() first"
+        self.timers.pop(name, None)
+        self.process.on_timer(name)
+
+    def advance_local_time(self, amount: float) -> None:
+        self._local_time += amount
+
+    # -- inspection --------------------------------------------------------------
+    def sent_of_kind(self, kind: str) -> List[SentMessage]:
+        return [item for item in self.sent if type(item.message).kind == kind]
+
+    def destinations_of_kind(self, kind: str) -> List[int]:
+        return [item.dst for item in self.sent_of_kind(kind)]
+
+    def clear_sent(self) -> None:
+        self.sent.clear()
+
+    def emitted_events(self, name: str) -> List[dict]:
+        return [fields for event, fields in self.emitted if event == name]
+
+
+class ScriptedCluster:
+    """A hand-scheduled cluster of protocol processes (no simulator).
+
+    Every process runs against its own :class:`ContextHarness`; messages the
+    processes send are collected into a pending pool instead of being
+    delivered.  The test decides which pending messages to deliver, in which
+    order, and which to drop — making it easy to reproduce the classic
+    adversarial interleavings (dueling proposers, delayed accept messages,
+    value locking across ballots) deterministically.
+    """
+
+    def __init__(self, factory, n: int, params: Optional[TimingParams] = None,
+                 values: Optional[List[Any]] = None) -> None:
+        self.n = n
+        params = params or make_params()
+        self.harnesses: Dict[int, ContextHarness] = {}
+        self.processes: Dict[int, Process] = {}
+        # pending messages: list of (src, dst, message)
+        self.pending: List[Tuple[int, int, Any]] = []
+        for pid in range(n):
+            harness = ContextHarness(pid=pid, n=n, params=params)
+            process = factory(pid)
+            value = values[pid] if values is not None and pid < len(values) else f"value-{pid}"
+            harness.start(process, initial_value=value)
+            self.harnesses[pid] = harness
+            self.processes[pid] = process
+            self._collect(pid)
+
+    # -- message plumbing ----------------------------------------------------
+    def _collect(self, pid: int) -> None:
+        harness = self.harnesses[pid]
+        for item in harness.sent:
+            self.pending.append((pid, item.dst, item.message))
+        harness.clear_sent()
+
+    def pending_of_kind(
+        self, kind: str, dst: Optional[int] = None, src: Optional[int] = None
+    ) -> List[Tuple[int, int, Any]]:
+        return [
+            entry
+            for entry in self.pending
+            if type(entry[2]).kind == kind
+            and (dst is None or entry[1] == dst)
+            and (src is None or entry[0] == src)
+        ]
+
+    def deliver(self, entry: Tuple[int, int, Any]) -> None:
+        """Deliver one specific pending message (and collect any replies)."""
+        self.pending.remove(entry)
+        src, dst, message = entry
+        self.processes[dst].on_message(message, src)
+        self._collect(dst)
+
+    def deliver_kind(self, kind: str, dst: Optional[int] = None, src: Optional[int] = None,
+                     limit: Optional[int] = None) -> int:
+        """Deliver all (or ``limit``) pending messages of one kind; returns how many."""
+        count = 0
+        for entry in list(self.pending_of_kind(kind, dst, src)):
+            if limit is not None and count >= limit:
+                break
+            if entry in self.pending:
+                self.deliver(entry)
+                count += 1
+        return count
+
+    def drop_kind(self, kind: str, dst: Optional[int] = None, src: Optional[int] = None) -> int:
+        """Silently drop pending messages of one kind; returns how many."""
+        victims = self.pending_of_kind(kind, dst, src)
+        for entry in victims:
+            self.pending.remove(entry)
+        return len(victims)
+
+    def deliver_all(self, max_messages: int = 10_000) -> None:
+        """Keep delivering everything until no messages are pending."""
+        delivered = 0
+        while self.pending and delivered < max_messages:
+            self.deliver(self.pending[0])
+            delivered += 1
+
+    def fire_timer(self, pid: int, name: str) -> None:
+        self.harnesses[pid].fire_timer(name)
+        self._collect(pid)
+
+    # -- outcome inspection -------------------------------------------------------
+    def decisions(self) -> Dict[int, Any]:
+        return {
+            pid: harness.decisions[0]
+            for pid, harness in self.harnesses.items()
+            if harness.decisions
+        }
+
+    def decided_values(self) -> set:
+        return set(self.decisions().values())

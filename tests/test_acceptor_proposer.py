@@ -1,0 +1,131 @@
+"""Unit tests for the Paxos acceptor and proposer roles (`repro.consensus.paxos`)."""
+
+import pytest
+
+from repro.consensus.paxos.acceptor import AcceptOutcome, AcceptorState, PrepareOutcome
+from repro.consensus.paxos.proposer import ProposerAttempt, ProposerState
+from repro.errors import ProtocolError
+
+
+class TestAcceptorPrepare:
+    def test_promises_higher_ballot(self):
+        acceptor = AcceptorState(mbal=3)
+        assert acceptor.handle_prepare(7) is PrepareOutcome.PROMISED
+        assert acceptor.mbal == 7
+
+    def test_promises_equal_ballot(self):
+        acceptor = AcceptorState(mbal=3)
+        assert acceptor.handle_prepare(3) is PrepareOutcome.PROMISED
+
+    def test_rejects_lower_ballot(self):
+        acceptor = AcceptorState(mbal=5)
+        assert acceptor.handle_prepare(4) is PrepareOutcome.REJECTED
+        assert acceptor.mbal == 5
+
+    def test_promise_does_not_change_vote(self):
+        acceptor = AcceptorState(mbal=0)
+        acceptor.handle_accept(2, "v")
+        acceptor.handle_prepare(5)
+        assert acceptor.last_vote == (2, "v")
+
+
+class TestAcceptorAccept:
+    def test_accepts_at_or_above_promise(self):
+        acceptor = AcceptorState(mbal=4)
+        assert acceptor.handle_accept(4, "x") is AcceptOutcome.ACCEPTED
+        assert acceptor.last_vote == (4, "x")
+        assert acceptor.handle_accept(9, "y") is AcceptOutcome.ACCEPTED
+        assert acceptor.last_vote == (9, "y")
+
+    def test_rejects_below_promise(self):
+        acceptor = AcceptorState(mbal=6)
+        assert acceptor.handle_accept(5, "x") is AcceptOutcome.REJECTED
+        assert acceptor.last_vote == (-1, None)
+
+    def test_accept_raises_promise_level(self):
+        acceptor = AcceptorState(mbal=1)
+        acceptor.handle_accept(8, "v")
+        assert acceptor.handle_prepare(7) is PrepareOutcome.REJECTED
+
+    def test_never_accepts_below_a_previous_accept(self):
+        acceptor = AcceptorState(mbal=0)
+        acceptor.handle_accept(5, "v")
+        assert acceptor.handle_accept(3, "w") is AcceptOutcome.REJECTED
+        assert acceptor.last_vote == (5, "v")
+
+
+class TestAcceptorPersistence:
+    def test_snapshot_restore_roundtrip(self):
+        acceptor = AcceptorState(mbal=4)
+        acceptor.handle_accept(4, "value")
+        restored = AcceptorState.restore(acceptor.snapshot(), default_mbal=0)
+        assert restored.mbal == 4
+        assert restored.last_vote == (4, "value")
+
+    def test_restore_from_empty_uses_default(self):
+        restored = AcceptorState.restore(None, default_mbal=3)
+        assert restored.mbal == 3
+        assert restored.last_vote == (-1, None)
+
+
+class TestProposerAttempt:
+    def test_choose_value_prefers_highest_voted_ballot(self):
+        attempt = ProposerAttempt(ballot=10, started_local=0.0)
+        attempt.record_promise(0, voted_bal=-1, voted_val=None)
+        attempt.record_promise(1, voted_bal=3, voted_val="old")
+        attempt.record_promise(2, voted_bal=7, voted_val="newer")
+        assert attempt.choose_value("mine") == "newer"
+
+    def test_choose_value_falls_back_to_own_proposal(self):
+        attempt = ProposerAttempt(ballot=10, started_local=0.0)
+        attempt.record_promise(0, voted_bal=-1, voted_val=None)
+        attempt.record_promise(1, voted_bal=-1, voted_val=None)
+        assert attempt.choose_value("mine") == "mine"
+
+    def test_duplicate_promises_ignored(self):
+        attempt = ProposerAttempt(ballot=10, started_local=0.0)
+        attempt.record_promise(0, voted_bal=1, voted_val="a")
+        attempt.record_promise(0, voted_bal=9, voted_val="b")
+        assert attempt.promise_count() == 1
+        assert attempt.choose_value("mine") == "a"
+
+
+class TestProposerState:
+    def test_next_ballot_is_congruent_to_pid(self):
+        for n in (3, 5, 7):
+            for pid in range(n):
+                proposer = ProposerState(pid=pid, n=n)
+                proposer.observe_ballot(17)
+                assert proposer.next_ballot() % n == pid
+                assert proposer.next_ballot() > 17
+
+    def test_next_ballot_is_minimal_above_highest_seen(self):
+        proposer = ProposerState(pid=2, n=5)
+        proposer.observe_ballot(13)
+        ballot = proposer.next_ballot()
+        assert ballot > 13
+        assert ballot - 5 <= 13  # the previous ballot owned by pid 2 is not above 13
+
+    def test_start_attempt_monotonically_increases(self):
+        proposer = ProposerState(pid=1, n=3)
+        first = proposer.start_attempt(0.0)
+        proposer.observe_ballot(first.ballot + 10)
+        second = proposer.start_attempt(1.0)
+        assert second.ballot > first.ballot
+        assert proposer.attempts_started == 2
+
+    def test_repeated_attempts_without_new_information_still_increase(self):
+        proposer = ProposerState(pid=1, n=3)
+        ballots = [proposer.start_attempt(float(i)).ballot for i in range(4)]
+        assert ballots == sorted(set(ballots))
+        assert all(ballot % 3 == 1 for ballot in ballots)
+
+    def test_is_current_and_abandon(self):
+        proposer = ProposerState(pid=0, n=3)
+        attempt = proposer.start_attempt(0.0)
+        assert proposer.is_current(attempt.ballot)
+        assert proposer.current_ballot() == attempt.ballot
+        proposer.abandon()
+        assert proposer.attempt is None
+        assert not proposer.is_current(attempt.ballot)
+        assert proposer.current_ballot() is None

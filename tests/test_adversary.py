@@ -1,0 +1,167 @@
+"""Unit tests for pre-stabilization adversaries (`repro.net.adversary`)."""
+
+import pytest
+
+from repro.core.messages import Phase1a
+from repro.errors import ConfigurationError
+from repro.net.adversary import (
+    BenignAdversary,
+    DropAllAdversary,
+    PartitionAdversary,
+    RandomChaosAdversary,
+    ScriptedAdversary,
+)
+from repro.net.message import Envelope, Era
+from repro.net.partition import PartitionSpec
+from repro.sim.rng import SeededRng
+
+
+def make_envelope(src=0, dst=1, send_time=1.0):
+    return Envelope(message=Phase1a(mbal=0), src=src, dst=dst, send_time=send_time, era=Era.PRE)
+
+
+class TestBenignAdversary:
+    def test_delivers_within_delta(self):
+        adversary = BenignAdversary(delta=2.0)
+        rng = SeededRng(0)
+        for _ in range(50):
+            when = adversary.pre_ts_fate(make_envelope(send_time=5.0), now=5.0, rng=rng)
+            assert when is not None
+            assert 5.0 < when <= 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BenignAdversary(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            BenignAdversary(delta=1.0, min_delay_fraction=2.0)
+
+
+class TestDropAllAdversary:
+    def test_drops_everything(self):
+        adversary = DropAllAdversary()
+        rng = SeededRng(0)
+        assert all(
+            adversary.pre_ts_fate(make_envelope(), now=1.0, rng=rng) is None for _ in range(20)
+        )
+
+    def test_no_duplication(self):
+        assert DropAllAdversary().duplicate_probability(make_envelope(), 0.0) == 0.0
+
+
+class TestRandomChaosAdversary:
+    def test_drop_probability_one_drops_everything(self):
+        adversary = RandomChaosAdversary(ts=10.0, delta=1.0, drop_probability=1.0)
+        rng = SeededRng(1)
+        assert all(
+            adversary.pre_ts_fate(make_envelope(), now=1.0, rng=rng) is None for _ in range(20)
+        )
+
+    def test_defer_probability_one_defers_past_ts(self):
+        adversary = RandomChaosAdversary(
+            ts=10.0, delta=1.0, drop_probability=0.0, defer_probability=1.0, max_defer=3.0
+        )
+        rng = SeededRng(2)
+        for _ in range(50):
+            when = adversary.pre_ts_fate(make_envelope(send_time=1.0), now=1.0, rng=rng)
+            assert when is not None
+            assert 10.0 <= when <= 13.0
+
+    def test_surviving_messages_delayed_within_factor(self):
+        adversary = RandomChaosAdversary(
+            ts=10.0, delta=1.0, drop_probability=0.0, defer_probability=0.0, max_delay_factor=2.0
+        )
+        rng = SeededRng(3)
+        for _ in range(50):
+            when = adversary.pre_ts_fate(make_envelope(send_time=4.0), now=4.0, rng=rng)
+            assert when is not None
+            assert 4.0 < when <= 6.0
+
+    def test_duplicate_probability_passthrough(self):
+        adversary = RandomChaosAdversary(ts=1.0, delta=1.0, duplicate_prob=0.25)
+        assert adversary.duplicate_probability(make_envelope(), 0.0) == 0.25
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomChaosAdversary(ts=1.0, delta=1.0, drop_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            RandomChaosAdversary(ts=-1.0, delta=1.0)
+        with pytest.raises(ConfigurationError):
+            RandomChaosAdversary(ts=1.0, delta=0.0)
+
+
+class TestPartitionAdversary:
+    def test_intra_group_delivered_cross_group_dropped(self):
+        spec = PartitionSpec.of([[0, 1], [2, 3]])
+        adversary = PartitionAdversary(spec=spec, delta=1.0)
+        rng = SeededRng(4)
+        intra = adversary.pre_ts_fate(make_envelope(src=0, dst=1, send_time=2.0), 2.0, rng)
+        cross = adversary.pre_ts_fate(make_envelope(src=0, dst=2, send_time=2.0), 2.0, rng)
+        assert intra is not None and intra > 2.0
+        assert cross is None
+
+    def test_leak_probability_one_always_leaks(self):
+        spec = PartitionSpec.of([[0], [1]])
+        adversary = PartitionAdversary(spec=spec, delta=1.0, leak_probability=1.0)
+        rng = SeededRng(5)
+        when = adversary.pre_ts_fate(make_envelope(src=0, dst=1, send_time=0.0), 0.0, rng)
+        assert when is not None
+
+    def test_validation(self):
+        spec = PartitionSpec.of([[0], [1]])
+        with pytest.raises(ConfigurationError):
+            PartitionAdversary(spec=spec, delta=0.0)
+        with pytest.raises(ConfigurationError):
+            PartitionAdversary(spec=spec, delta=1.0, leak_probability=2.0)
+
+
+class TestWorstCaseDelayAdversary:
+    def test_post_ts_delay_is_essentially_delta(self):
+        from repro.net.adversary import WorstCaseDelayAdversary
+
+        adversary = WorstCaseDelayAdversary(delta=2.0, jitter=0.01)
+        rng = SeededRng(7)
+        for _ in range(30):
+            delay = adversary.post_ts_delay(make_envelope(), now=5.0, rng=rng)
+            assert 2.0 * 0.99 <= delay <= 2.0
+
+    def test_zero_jitter_is_exactly_delta(self):
+        from repro.net.adversary import WorstCaseDelayAdversary
+
+        adversary = WorstCaseDelayAdversary(delta=1.5, jitter=0.0)
+        assert adversary.post_ts_delay(make_envelope(), 0.0, SeededRng(0)) == 1.5
+
+    def test_pre_ts_behaviour_delegates(self):
+        from repro.net.adversary import WorstCaseDelayAdversary
+
+        adversary = WorstCaseDelayAdversary(delta=1.0, pre_ts=BenignAdversary(delta=1.0))
+        when = adversary.pre_ts_fate(make_envelope(send_time=1.0), 1.0, SeededRng(1))
+        assert when is not None
+        dropping = WorstCaseDelayAdversary(delta=1.0)
+        assert dropping.pre_ts_fate(make_envelope(), 1.0, SeededRng(1)) is None
+
+    def test_validation(self):
+        from repro.net.adversary import WorstCaseDelayAdversary
+
+        with pytest.raises(ConfigurationError):
+            WorstCaseDelayAdversary(delta=0.0)
+        with pytest.raises(ConfigurationError):
+            WorstCaseDelayAdversary(delta=1.0, jitter=1.5)
+
+
+class TestScriptedAdversary:
+    def test_script_controls_fate(self):
+        adversary = ScriptedAdversary(script=lambda env, now, rng: now + 42.0)
+        rng = SeededRng(6)
+        assert adversary.pre_ts_fate(make_envelope(), 1.0, rng) == 43.0
+
+    def test_script_can_drop(self):
+        adversary = ScriptedAdversary(script=lambda env, now, rng: None)
+        assert adversary.pre_ts_fate(make_envelope(), 1.0, SeededRng(0)) is None
+
+    def test_pass_defers_to_fallback(self):
+        adversary = ScriptedAdversary(
+            script=lambda env, now, rng: ScriptedAdversary.PASS,
+            fallback=BenignAdversary(delta=1.0),
+        )
+        when = adversary.pre_ts_fate(make_envelope(send_time=3.0), 3.0, SeededRng(1))
+        assert when is not None and 3.0 < when <= 4.0

@@ -1,0 +1,148 @@
+"""Deterministic adversarial interleavings for the non-Paxos protocols.
+
+Same style as ``test_paxos_safety_scenarios.py``: hand-scheduled deliveries
+through :class:`tests.helpers.ScriptedCluster`, reproducing the situations
+the safety arguments of the rotating-coordinator algorithm and of the
+B-Consensus reconstruction actually hinge on.
+"""
+
+import pytest
+
+from repro.consensus.bconsensus.messages import ABSTAIN, Vote
+from repro.consensus.bconsensus.modified import ModifiedBConsensusProcess
+from repro.consensus.roundbased.messages import Ack, Propose, StartRound
+from repro.consensus.roundbased.rotating import RotatingCoordinatorProcess
+
+from tests.helpers import ScriptedCluster
+
+
+def rotating_cluster(n=3, values=None):
+    return ScriptedCluster(lambda pid: RotatingCoordinatorProcess(), n=n, values=values)
+
+
+def bconsensus_cluster(n=3, values=None):
+    return ScriptedCluster(lambda pid: ModifiedBConsensusProcess(), n=n, values=values)
+
+
+class TestRotatingCoordinatorLocking:
+    def test_value_locked_by_acks_survives_coordinator_change(self):
+        """A majority that acked round 0 forces every later round to the same value."""
+        cluster = rotating_cluster(values=["A", "B", "C"])
+        # Round 0: coordinator p0 collects StartRound from everyone and proposes "A"
+        # (its own estimate, since nothing was ever adopted).
+        cluster.deliver_kind("start_round", dst=0)
+        proposals = cluster.pending_of_kind("propose")
+        assert proposals and all(entry[2].value == "A" for entry in proposals)
+        # The proposal reaches p1 and p2 which adopt and ack, but all acks are
+        # lost before any process collects a majority of them.
+        cluster.deliver_kind("propose", dst=1)
+        cluster.deliver_kind("propose", dst=2)
+        cluster.drop_kind("propose")
+        cluster.drop_kind("ack")
+        assert cluster.processes[1].adopted_in == 0
+        assert cluster.processes[2].estimate == "A"
+        # Round 1 (coordinator p1) starts via timeouts; its StartRound messages
+        # carry adopted_in=0 for p1/p2, so the new coordinator must re-propose "A".
+        for pid in range(3):
+            cluster.deliver_kind("start_round", dst=pid)
+        for pid in range(3):
+            cluster.fire_timer(pid, RotatingCoordinatorProcess.ROUND_TIMER)
+        cluster.deliver_all()
+        assert cluster.decided_values() <= {"A"}
+        assert len(cluster.decided_values()) == 1
+
+    def test_unadopted_estimate_can_be_superseded(self):
+        """Without any adoption, a later round may legitimately pick another value."""
+        cluster = rotating_cluster(values=["A", "B", "C"])
+        # Round 0's proposal never reaches anyone.
+        cluster.deliver_kind("start_round", dst=0)
+        cluster.drop_kind("propose")
+        # Everyone times out into round 1 (they all saw each other's StartRound 0).
+        for pid in range(3):
+            cluster.deliver_kind("start_round", dst=pid)
+        for pid in range(3):
+            cluster.fire_timer(pid, RotatingCoordinatorProcess.ROUND_TIMER)
+        cluster.deliver_all()
+        decided = cluster.decided_values()
+        assert len(decided) == 1
+        assert decided <= {"A", "B", "C"}
+
+    def test_stale_ack_from_old_round_cannot_fabricate_decision(self):
+        cluster = rotating_cluster(values=["A", "B", "C"])
+        # Craft the dangerous interleaving directly: p2 receives one ack for a
+        # round that never reached a majority and one for a different value in
+        # a later round; neither set reaches a quorum of distinct senders.
+        cluster.processes[2].on_message(Ack(round=0, value="A"), 0)
+        cluster.processes[2].on_message(Ack(round=1, value="B"), 1)
+        assert not cluster.processes[2].has_decided
+
+    def test_acks_for_same_round_different_senders_decide_once(self):
+        cluster = rotating_cluster(values=["A", "B", "C"])
+        cluster.processes[2].on_message(Ack(round=0, value="A"), 0)
+        cluster.processes[2].on_message(Ack(round=0, value="A"), 1)
+        assert cluster.processes[2].decided_value == "A"
+        # Duplicate or conflicting late acks change nothing.
+        cluster.processes[2].on_message(Ack(round=0, value="A"), 0)
+        assert cluster.processes[2].decided_value == "A"
+
+
+class TestBConsensusVoteIntersection:
+    def test_two_conflicting_concrete_votes_cannot_coexist(self):
+        """Every pair of stage-1 majorities intersects, so concrete votes agree.
+
+        Drive two processes' stage-1 samples from overlapping majorities and
+        check that their (non-abstain) votes are necessarily equal.
+        """
+        cluster = bconsensus_cluster(values=["A", "A", "B"])
+        # Every process w-broadcasts First(0, estimate); release the oracle
+        # messages to p0 and p1 only, giving each a full sample.
+        for dst in (0, 1):
+            for entry in list(cluster.pending_of_kind("wab", dst=dst)):
+                cluster.deliver(entry)
+            harness = cluster.harnesses[dst]
+            harness.advance_local_time(10.0)
+            for name in [t for t in list(harness.timers) if t.startswith("wab-release-")]:
+                cluster.fire_timer(dst, name)
+        votes = {
+            entry[0]: entry[2].vote
+            for entry in cluster.pending_of_kind("bvote")
+        }
+        concrete = [vote for vote in votes.values() if vote != ABSTAIN]
+        assert len(set(concrete)) <= 1
+
+    def test_decision_forces_later_round_estimates(self):
+        """If someone decides v in round r, everyone finishing round r adopts v."""
+        cluster = bconsensus_cluster(values=["A", "B", "C"])
+        # p0 receives a unanimous majority of concrete votes for "A" and decides.
+        cluster.processes[0].on_message(Vote(round=0, vote="A"), 1)
+        cluster.processes[0].on_message(Vote(round=0, vote="A"), 2)
+        assert cluster.processes[0].decided_value == "A"
+        # p1's sample intersects p0's: it must contain at least one "A" vote,
+        # so when it finishes the round its estimate becomes "A".
+        cluster.processes[1].on_message(Vote(round=0, vote="A"), 2)
+        cluster.processes[1].on_message(Vote(round=0, vote=ABSTAIN), 1)
+        assert cluster.processes[1].estimate == "A"
+        assert cluster.processes[1].round == 1
+
+    def test_full_delivery_reaches_single_decision(self):
+        cluster = bconsensus_cluster(values=["A", "B", "C"])
+        # Release all oracle messages and votes repeatedly, firing hold-back
+        # timers in between, until the system settles.
+        for _ in range(6):
+            cluster.deliver_all()
+            for pid in range(3):
+                harness = cluster.harnesses[pid]
+                harness.advance_local_time(5.0)
+                for name in [t for t in list(harness.timers) if t.startswith("wab-release-")]:
+                    cluster.fire_timer(pid, name)
+            cluster.deliver_all()
+            if len(cluster.decisions()) == 3:
+                break
+        assert len(cluster.decided_values()) <= 1
+
+    def test_mixed_abstain_votes_do_not_decide(self):
+        cluster = bconsensus_cluster(values=["A", "B", "C"])
+        cluster.processes[0].on_message(Vote(round=0, vote=ABSTAIN), 1)
+        cluster.processes[0].on_message(Vote(round=0, vote="B"), 2)
+        assert not cluster.processes[0].has_decided
+        assert cluster.processes[0].estimate == "B"

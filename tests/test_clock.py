@@ -1,0 +1,77 @@
+"""Unit tests for drifting clocks (`repro.sim.clock`)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.clock import ClockConfig, DriftingClock
+
+
+class TestClockConfig:
+    def test_rejects_out_of_range_rho(self):
+        with pytest.raises(ConfigurationError):
+            ClockConfig(rho=-0.1)
+        with pytest.raises(ConfigurationError):
+            ClockConfig(rho=1.0)
+
+    def test_local_timeout_guarantees_real_minimum(self):
+        config = ClockConfig(rho=0.05)
+        local = config.local_timeout_for(4.0)
+        # The fastest admissible clock (rate 1 + rho) turns this local
+        # duration into exactly the requested real minimum.
+        fastest = DriftingClock(rate=1.05)
+        assert fastest.real_duration(local) == pytest.approx(4.0)
+
+    def test_real_upper_bound_on_slowest_clock(self):
+        config = ClockConfig(rho=0.05)
+        local = config.local_timeout_for(4.0)
+        slowest = DriftingClock(rate=0.95)
+        assert slowest.real_duration(local) == pytest.approx(config.real_upper_bound(local))
+
+    def test_sigma_for_matches_paper_formula(self):
+        config = ClockConfig(rho=0.01)
+        assert config.sigma_for(4.0) == pytest.approx(4.0 * 1.01 / 0.99)
+
+    def test_zero_rho_makes_sigma_equal_minimum(self):
+        config = ClockConfig(rho=0.0)
+        assert config.sigma_for(4.0) == pytest.approx(4.0)
+
+
+class TestDriftingClock:
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(ConfigurationError):
+            DriftingClock(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftingClock(rate=-1.0)
+
+    def test_local_time_advances_at_rate(self):
+        clock = DriftingClock(rate=2.0, start_real=10.0, start_local=0.0)
+        assert clock.local_time(10.0) == 0.0
+        assert clock.local_time(11.0) == pytest.approx(2.0)
+        assert clock.local_time(13.5) == pytest.approx(7.0)
+
+    def test_real_duration_inverse_of_local_duration(self):
+        clock = DriftingClock(rate=1.25)
+        local = clock.local_duration(8.0)
+        assert clock.real_duration(local) == pytest.approx(8.0)
+
+    def test_fast_clock_shortens_real_waits(self):
+        fast = DriftingClock(rate=1.1)
+        slow = DriftingClock(rate=0.9)
+        assert fast.real_duration(4.0) < 4.0 < slow.real_duration(4.0)
+
+    def test_negative_durations_rejected(self):
+        clock = DriftingClock()
+        with pytest.raises(ConfigurationError):
+            clock.real_duration(-1.0)
+        with pytest.raises(ConfigurationError):
+            clock.local_duration(-1.0)
+
+    def test_reset_restarts_local_time(self):
+        clock = DriftingClock(rate=1.0)
+        assert clock.local_time(5.0) == pytest.approx(5.0)
+        clock.reset(real_time=5.0, local_time=0.0)
+        assert clock.local_time(5.0) == pytest.approx(0.0)
+        assert clock.local_time(7.0) == pytest.approx(2.0)
+
+    def test_repr_shows_rate(self):
+        assert "1.2" in repr(DriftingClock(rate=1.2))

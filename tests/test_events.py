@@ -1,0 +1,103 @@
+"""Unit tests for the event queue (`repro.sim.events`)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.events import EventQueue
+
+
+def collect_labels(queue):
+    labels = []
+    while queue:
+        labels.append(queue.pop().label)
+    return labels
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: None, label="c")
+        queue.push(1.0, lambda: None, label="a")
+        queue.push(2.0, lambda: None, label="b")
+        assert collect_labels(queue) == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        for label in ("first", "second", "third"):
+            queue.push(5.0, lambda: None, label=label)
+        assert collect_labels(queue) == ["first", "second", "third"]
+
+    def test_priority_breaks_ties_before_sequence(self):
+        queue = EventQueue()
+        queue.push(5.0, lambda: None, priority=1, label="low-priority")
+        queue.push(5.0, lambda: None, priority=0, label="high-priority")
+        assert collect_labels(queue) == ["high-priority", "low-priority"]
+
+    def test_peek_time_returns_earliest_live_event(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        queue.push(7.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.peek_time() == 2.0
+
+    def test_snapshot_lists_events_in_firing_order_without_popping(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, label="b")
+        queue.push(1.0, lambda: None, label="a")
+        snapshot = queue.snapshot()
+        assert [event.label for event in snapshot] == ["a", "b"]
+        assert len(queue) == 2
+
+
+class TestCancellation:
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, label="keep")
+        drop = queue.push(0.5, lambda: None, label="drop")
+        queue.cancel(drop)
+        assert queue.peek_time() == 1.0
+        assert queue.pop().label == "keep"
+        assert keep.cancelled is False
+
+    def test_len_counts_only_live_events(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+        queue.cancel(handle)
+        assert len(queue) == 1
+
+    def test_double_cancel_raises(self):
+        queue = EventQueue()
+        handle = queue.push(1.0, lambda: None)
+        queue.cancel(handle)
+        with pytest.raises(SchedulingError):
+            queue.cancel(handle)
+
+    def test_pop_empty_raises(self):
+        queue = EventQueue()
+        with pytest.raises(SchedulingError):
+            queue.pop()
+
+    def test_clear_empties_the_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_handle_exposes_time_and_label(self):
+        queue = EventQueue()
+        handle = queue.push(4.5, lambda: None, label="hello")
+        assert handle.time == 4.5
+        assert handle.label == "hello"
+
+
+class TestExecution:
+    def test_actions_are_preserved(self):
+        queue = EventQueue()
+        calls = []
+        queue.push(1.0, lambda: calls.append("x"))
+        queue.pop().action()
+        assert calls == ["x"]

@@ -1,0 +1,124 @@
+"""Unit tests for fault plans and schedules (`repro.faults`)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.faults.schedules import crash_before_stability, crash_forever, staggered_restarts
+from repro.sim.rng import SeededRng
+
+
+class TestFaultPlanConstruction:
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan().crash(0, 5.0).crash(1, 2.0).restart(1, 3.0)
+        times = [event.time for event in plan]
+        assert times == sorted(times)
+        assert len(plan) == 3
+
+    def test_merge_combines_plans(self):
+        left = FaultPlan().crash(0, 1.0)
+        right = FaultPlan().crash(1, 2.0)
+        merged = left.merge(right)
+        assert len(merged) == 2
+        assert merged.pids_touched() == {0, 1}
+
+    def test_describe(self):
+        assert FaultPlan().describe() == "no faults"
+        text = FaultPlan().crash(2, 1.5).describe()
+        assert "crash p2" in text
+
+
+class TestStateQueries:
+    def test_crashed_at_follows_crash_restart_sequence(self):
+        plan = FaultPlan().crash(0, 1.0).restart(0, 3.0).crash(1, 2.0)
+        assert plan.crashed_at(0.5) == set()
+        assert plan.crashed_at(1.5) == {0}
+        assert plan.crashed_at(2.5) == {0, 1}
+        assert plan.crashed_at(3.5) == {1}
+
+    def test_final_down(self):
+        plan = FaultPlan().crash(0, 1.0).restart(0, 2.0).crash(1, 1.5)
+        assert plan.final_down() == {1}
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        plan = FaultPlan().crash(0, 1.0).restart(0, 2.0)
+        plan.validate(n=3, ts=5.0)
+
+    def test_crash_after_ts_rejected(self):
+        plan = FaultPlan().crash(0, 6.0)
+        with pytest.raises(ConfigurationError):
+            plan.validate(n=3, ts=5.0)
+
+    def test_restart_after_ts_allowed(self):
+        plan = FaultPlan().crash(0, 1.0).restart(0, 9.0)
+        plan.validate(n=3, ts=5.0)
+
+    def test_double_crash_rejected(self):
+        plan = FaultPlan().crash(0, 1.0).crash(0, 2.0)
+        with pytest.raises(ConfigurationError):
+            plan.validate(n=3)
+
+    def test_restart_of_running_process_rejected(self):
+        plan = FaultPlan().restart(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            plan.validate(n=3)
+
+    def test_unknown_pid_rejected(self):
+        plan = FaultPlan().crash(7, 1.0)
+        with pytest.raises(ConfigurationError):
+            plan.validate(n=3)
+
+    def test_majority_must_be_up_at_ts(self):
+        plan = FaultPlan().crash(0, 1.0).crash(1, 1.5)
+        with pytest.raises(ConfigurationError):
+            plan.validate(n=3, ts=5.0)
+        plan_ok = FaultPlan().crash(0, 1.0)
+        plan_ok.validate(n=3, ts=5.0)
+
+    def test_without_ts_majority_not_enforced(self):
+        plan = FaultPlan().crash(0, 1.0).crash(1, 1.5)
+        plan.validate(n=3)
+
+
+class TestSchedules:
+    def test_crash_forever(self):
+        plan = crash_forever([3, 4], time=2.0)
+        assert plan.final_down() == {3, 4}
+        assert all(event.kind is FaultKind.CRASH for event in plan)
+
+    def test_staggered_restarts_order_and_spacing(self):
+        plan = staggered_restarts([5, 6], crash_time=1.0, first_restart=10.0, spacing=2.0)
+        restarts = [event for event in plan if event.kind is FaultKind.RESTART]
+        assert [(event.pid, event.time) for event in restarts] == [(5, 10.0), (6, 12.0)]
+        plan.validate(n=8, ts=5.0)
+
+    def test_staggered_restarts_rejects_negative_spacing(self):
+        with pytest.raises(ConfigurationError):
+            staggered_restarts([0], crash_time=1.0, first_restart=2.0, spacing=-1.0)
+
+    @pytest.mark.parametrize("n", [3, 5, 7, 10])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_crash_before_stability_is_always_valid(self, n, seed):
+        plan = crash_before_stability(n, ts=10.0, rng=SeededRng(seed))
+        plan.validate(n=n, ts=10.0)
+
+    def test_crash_before_stability_respects_max_faulty(self):
+        plan = crash_before_stability(7, ts=10.0, rng=SeededRng(1), max_faulty=1)
+        assert len(plan.pids_touched()) <= 1
+
+    def test_crash_before_stability_requires_positive_ts(self):
+        with pytest.raises(ConfigurationError):
+            crash_before_stability(5, ts=0.0, rng=SeededRng(0))
+
+    def test_crash_before_stability_tiny_system_is_empty(self):
+        assert len(crash_before_stability(1, ts=5.0, rng=SeededRng(0))) == 0
+
+
+class TestFaultEvent:
+    def test_ordering_and_describe(self):
+        early = FaultEvent(time=1.0, pid=0, kind=FaultKind.CRASH)
+        late = FaultEvent(time=2.0, pid=0, kind=FaultKind.RESTART)
+        assert early < late
+        assert "crash p0" in early.describe()

@@ -1,0 +1,68 @@
+"""Unit tests for message and envelope types (`repro.net.message`)."""
+
+from repro.core.messages import Decision, Phase1a, Phase1b, Phase2a, Phase2b, Rejected, ballot_of
+from repro.net.message import Envelope, Era, Message
+
+
+class TestMessages:
+    def test_kind_names_are_distinct(self):
+        kinds = {cls.kind for cls in (Phase1a, Phase1b, Phase2a, Phase2b, Rejected, Decision)}
+        assert len(kinds) == 6
+
+    def test_messages_are_frozen(self):
+        message = Phase1a(mbal=3)
+        try:
+            message.mbal = 5
+            frozen = False
+        except Exception:
+            frozen = True
+        assert frozen
+
+    def test_describe_includes_fields(self):
+        text = Phase2a(mbal=9, value="v").describe()
+        assert "phase2a" in text
+        assert "9" in text and "'v'" in text
+
+    def test_ballot_of_reads_mbal(self):
+        assert ballot_of(Phase1a(mbal=12)) == 12
+        assert ballot_of(Decision(value="v")) == -1
+
+    def test_base_message_describe(self):
+        assert Message().describe() == "message()"
+
+
+class TestEnvelope:
+    def _envelope(self, **overrides):
+        fields = dict(
+            message=Phase1a(mbal=1), src=0, dst=1, send_time=2.0, era=Era.POST
+        )
+        fields.update(overrides)
+        return Envelope(**fields)
+
+    def test_latency_requires_delivery(self):
+        envelope = self._envelope()
+        assert envelope.latency is None
+        envelope.deliver_time = 2.75
+        assert envelope.latency == 0.75
+        envelope.dropped = True
+        assert envelope.latency is None
+
+    def test_kind_comes_from_message(self):
+        assert self._envelope().kind == "phase1a"
+
+    def test_msg_ids_are_unique(self):
+        first = self._envelope()
+        second = self._envelope()
+        assert first.msg_id != second.msg_id
+
+    def test_describe_shows_fate(self):
+        pending = self._envelope()
+        assert "pending" in pending.describe()
+        delivered = self._envelope(deliver_time=3.0)
+        assert "deliver@" in delivered.describe()
+        dropped = self._envelope(dropped=True)
+        assert "dropped" in dropped.describe()
+
+    def test_era_labels(self):
+        assert Era.PRE.value.startswith("pre")
+        assert Era.POST.value.startswith("post")

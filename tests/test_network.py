@@ -1,0 +1,126 @@
+"""Unit tests for the network transport (`repro.net.network`) with a fake host."""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+import pytest
+
+from repro.core.messages import Phase1a
+from repro.errors import NetworkError
+from repro.net.adversary import Adversary, BenignAdversary, DropAllAdversary
+from repro.net.message import Envelope, Era
+from repro.net.network import Network
+from repro.net.synchrony import EventualSynchrony
+from repro.sim.events import Event, EventHandle
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class FakeHost:
+    """Implements the TransportHost protocol with manual event firing."""
+
+    time: float = 0.0
+    accept_deliveries: bool = True
+    scheduled: List[Tuple[float, Callable[[], None], str]] = field(default_factory=list)
+    delivered: List[Envelope] = field(default_factory=list)
+
+    def now(self) -> float:
+        return self.time
+
+    def schedule_at(self, time, action, *, label=""):
+        self.scheduled.append((time, action, label))
+        return EventHandle(Event(time=time, priority=0, seq=len(self.scheduled), action=action, label=label))
+
+    def deliver_envelope(self, envelope: Envelope) -> bool:
+        if not self.accept_deliveries:
+            return False
+        self.delivered.append(envelope)
+        return True
+
+    def fire_all(self):
+        for _, action, _ in list(self.scheduled):
+            action()
+
+
+def make_network(ts=0.0, delta=1.0, adversary=None, seed=0):
+    model = EventualSynchrony(ts=ts, delta=delta, adversary=adversary)
+    network = Network(model=model, rng=SeededRng(seed, label="net"))
+    host = FakeHost()
+    network.bind(host)
+    return network, host
+
+
+class TestSendPath:
+    def test_send_schedules_delivery_within_delta(self):
+        network, host = make_network(delta=2.0)
+        envelope = network.send(Phase1a(mbal=1), src=0, dst=1)
+        assert not envelope.dropped
+        assert envelope.deliver_time is not None
+        assert host.scheduled[0][0] == envelope.deliver_time
+        assert 0.0 < envelope.deliver_time <= 2.0
+
+    def test_delivery_invokes_host_and_monitor(self):
+        network, host = make_network()
+        network.send(Phase1a(mbal=1), src=0, dst=1)
+        host.fire_all()
+        assert len(host.delivered) == 1
+        assert network.monitor.stats.delivered == 1
+
+    def test_delivery_to_crashed_counts_separately(self):
+        network, host = make_network()
+        host.accept_deliveries = False
+        network.send(Phase1a(mbal=1), src=0, dst=1)
+        host.fire_all()
+        assert network.monitor.stats.delivered == 0
+        assert network.monitor.stats.to_crashed == 1
+
+    def test_pre_ts_drop_records_drop(self):
+        network, host = make_network(ts=100.0, adversary=DropAllAdversary())
+        envelope = network.send(Phase1a(mbal=1), src=0, dst=1)
+        assert envelope.dropped
+        assert network.monitor.stats.dropped == 1
+        assert host.scheduled == []
+
+    def test_send_before_bind_raises(self):
+        model = EventualSynchrony(ts=0.0, delta=1.0)
+        network = Network(model=model, rng=SeededRng(0))
+        with pytest.raises(NetworkError):
+            network.send(Phase1a(mbal=1), src=0, dst=1)
+
+    def test_envelope_log_keeps_send_order(self):
+        network, _ = make_network()
+        network.send(Phase1a(mbal=1), src=0, dst=1)
+        network.send(Phase1a(mbal=2), src=1, dst=0)
+        ballots = [env.message.mbal for env in network.envelopes]
+        assert ballots == [1, 2]
+
+
+class TestDuplication:
+    def test_duplicates_delivered_when_adversary_requests(self):
+        class DuplicatingAdversary(BenignAdversary):
+            def duplicate_probability(self, envelope, now):
+                return 1.0
+
+        network, host = make_network(ts=100.0, adversary=DuplicatingAdversary(delta=1.0))
+        network.send(Phase1a(mbal=1), src=0, dst=1)
+        host.fire_all()
+        assert network.monitor.stats.duplicated == 1
+        assert len(host.delivered) == 2
+        duplicate = [env for env in network.envelopes if env.duplicated_from is not None]
+        assert len(duplicate) == 1
+
+
+class TestInjection:
+    def test_inject_schedules_at_exact_time(self):
+        network, host = make_network(ts=50.0)
+        envelope = network.inject(Phase1a(mbal=999), src=4, dst=2, deliver_time=60.0, send_time=1.0)
+        assert envelope.era is Era.PRE
+        assert envelope.deliver_time == 60.0
+        assert host.scheduled[0][0] == 60.0
+        host.fire_all()
+        assert host.delivered[0].message.mbal == 999
+
+    def test_inject_rejects_delivery_before_send(self):
+        network, _ = make_network()
+        with pytest.raises(NetworkError):
+            network.inject(Phase1a(mbal=1), src=0, dst=1, deliver_time=0.5, send_time=1.0)

@@ -1,0 +1,64 @@
+"""Unit tests for partition specifications (`repro.net.partition`)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.partition import PartitionSpec, minority_groups
+from repro.sim.rng import SeededRng
+
+
+class TestPartitionSpec:
+    def test_connected_within_group(self):
+        spec = PartitionSpec.of([[0, 1], [2, 3, 4]])
+        assert spec.connected(0, 1)
+        assert spec.connected(3, 4)
+        assert not spec.connected(1, 2)
+
+    def test_self_connection_always_allowed(self):
+        spec = PartitionSpec.of([[0], [1]])
+        assert spec.connected(0, 0)
+
+    def test_unlisted_pid_is_isolated(self):
+        spec = PartitionSpec.of([[0, 1]])
+        assert not spec.connected(2, 0)
+        assert not spec.connected(0, 2)
+        assert spec.group_of(2) == -1
+
+    def test_duplicate_pid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSpec.of([[0, 1], [1, 2]])
+
+    def test_pids_lists_all_members_sorted(self):
+        spec = PartitionSpec.of([[3, 1], [2, 0]])
+        assert spec.pids == [0, 1, 2, 3]
+
+    def test_blocks_majority(self):
+        blocking = PartitionSpec.of([[0, 1], [2, 3], [4]])
+        assert blocking.blocks_majority(5)
+        allowing = PartitionSpec.of([[0, 1, 2], [3, 4]])
+        assert not allowing.blocks_majority(5)
+
+    def test_largest_group_size(self):
+        spec = PartitionSpec.of([[0], [1, 2, 3], [4, 5]])
+        assert spec.largest_group_size() == 3
+        assert PartitionSpec.of([]).largest_group_size() == 0
+
+
+class TestMinorityGroups:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 10, 15, 31])
+    def test_every_process_in_exactly_one_group(self, n):
+        spec = minority_groups(n, SeededRng(n))
+        assert spec.pids == list(range(n))
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 10, 15, 31])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_group_holds_a_majority(self, n, seed):
+        spec = minority_groups(n, SeededRng(seed))
+        assert spec.blocks_majority(n)
+
+    def test_requires_at_least_two_processes(self):
+        with pytest.raises(ConfigurationError):
+            minority_groups(1, SeededRng(0))
+
+    def test_deterministic_for_a_seed(self):
+        assert minority_groups(9, SeededRng(5)).groups == minority_groups(9, SeededRng(5)).groups

@@ -1,0 +1,174 @@
+"""Deterministic adversarial interleavings exercising Paxos safety.
+
+These tests hand-schedule message deliveries through
+:class:`tests.helpers.ScriptedCluster` to reproduce the classic situations in
+which naive consensus protocols lose agreement, and check that the
+implementations do not:
+
+* **value locking** — once a value is chosen by a majority in some ballot,
+  every later ballot must propose the same value;
+* **dueling proposers** — two processes running phase 1 concurrently must
+  never get different values decided;
+* **delayed accepts** — phase 2 messages from a superseded ballot arriving
+  late must not create a second decision.
+"""
+
+import pytest
+
+from repro.core.messages import Phase1a, Phase1b, Phase2a, Phase2b
+from repro.core.modified_paxos import ModifiedPaxosProcess
+from repro.core.sessions import ballot_for
+from repro.consensus.paxos.traditional import TraditionalPaxosProcess
+
+from tests.helpers import ScriptedCluster, make_params
+
+
+def modified_cluster(n=3, values=None):
+    return ScriptedCluster(lambda pid: ModifiedPaxosProcess(), n=n, values=values)
+
+
+class FixedLeaderOracle:
+    """Everyone believes themselves leader (maximum proposer contention)."""
+
+    def leader(self, pid):
+        return pid
+
+    def believes_self_leader(self, pid):
+        return True
+
+
+def traditional_cluster(n=3, values=None):
+    oracle = FixedLeaderOracle()
+    return ScriptedCluster(
+        lambda pid: TraditionalPaxosProcess(oracle=oracle), n=n, values=values
+    )
+
+
+class TestModifiedPaxosValueLocking:
+    def test_later_session_reproposes_the_chosen_value(self):
+        """A value accepted by a majority in session 1 survives into session 2."""
+        cluster = modified_cluster(values=["A", "B", "C"])
+        # Process 1 starts session 1 (ballot 4) after its session timer expires.
+        cluster.fire_timer(1, "session")
+        # Its phase 1a reaches everyone; promises flow back; 2a goes out.
+        cluster.deliver_kind("phase1a")
+        cluster.deliver_kind("phase1b")
+        # The 2a reaches a majority (p0 and p1) which accept, but their 2b
+        # messages are lost before anyone can observe a decision.
+        cluster.deliver_kind("phase2a", dst=0)
+        cluster.deliver_kind("phase2a", dst=1)
+        cluster.drop_kind("phase2a")
+        cluster.drop_kind("phase2b")
+        assert cluster.processes[0].aval == "B"  # p1's proposal was chosen for ballot 4
+        # Now process 2 starts session 2 without having seen the accepts.
+        cluster.harnesses[2].timers.pop("session", None)
+        cluster.fire_timer(2, "session")
+        assert cluster.processes[2].session >= 1
+        # Drive everything to completion: the only decidable value is "B".
+        cluster.deliver_all()
+        for pid in range(3):
+            cluster.fire_timer(pid, "session")
+        cluster.deliver_all()
+        assert cluster.decided_values() <= {"B"}
+
+    def test_unseen_minority_accept_does_not_lock_value(self):
+        """A value accepted by only one process can legitimately be replaced."""
+        cluster = modified_cluster(values=["A", "B", "C"])
+        cluster.fire_timer(1, "session")
+        cluster.deliver_kind("phase1a")
+        cluster.deliver_kind("phase1b")
+        # The 2a reaches only p0 (a minority); everything else about ballot 4 is lost.
+        cluster.deliver_kind("phase2a", dst=0)
+        cluster.drop_kind("phase2a")
+        cluster.drop_kind("phase2b")
+        # Process 2 later drives session 2 to a decision.
+        cluster.harnesses[2].timers.pop("session", None)
+        cluster.fire_timer(2, "session")
+        cluster.deliver_all()
+        decided = cluster.decided_values()
+        # Either value is safe here (no majority ever accepted "B"), but there
+        # must be exactly one decided value across all processes.
+        assert len(decided) <= 1
+
+
+class TestModifiedPaxosDuelingProposers:
+    def test_two_simultaneous_sessions_agree(self):
+        cluster = modified_cluster(values=["A", "B", "C"])
+        # p1 and p2 both time out of session 0 before hearing from each other.
+        cluster.fire_timer(1, "session")
+        cluster.fire_timer(2, "session")
+        ballots = {cluster.processes[1].mbal, cluster.processes[2].mbal}
+        assert ballots == {ballot_for(1, 1, 3), ballot_for(1, 2, 3)}
+        # Adversarial delivery: interleave their phase 1/2 messages arbitrarily.
+        cluster.deliver_all()
+        # Let any still-pending session timers fire and drain again.
+        for pid in range(3):
+            cluster.harnesses[pid].timers.pop("keepalive", None)
+        cluster.deliver_all()
+        assert len(cluster.decided_values()) <= 1
+
+    def test_interleaved_promise_order_cannot_split_decision(self):
+        cluster = modified_cluster(values=["A", "B", "C"])
+        cluster.fire_timer(1, "session")
+        cluster.deliver_kind("phase1a", dst=0)  # p0 promises ballot 4 first
+        cluster.fire_timer(2, "session")
+        # p2's higher ballot (5) now reaches p0 and p1 before p1 can finish.
+        cluster.deliver_kind("phase1a", dst=0)
+        cluster.deliver_kind("phase1a", dst=1)
+        cluster.deliver_all()
+        assert len(cluster.decided_values()) <= 1
+
+
+class TestTraditionalPaxosSafetyScenarios:
+    def test_value_chosen_in_low_ballot_survives_higher_ballot(self):
+        cluster = traditional_cluster(values=["A", "B", "C"])
+        # Isolate p0's ballot: the other self-believed leaders' startup
+        # prepares are lost, so only p0 completes a round.
+        cluster.drop_kind("phase1a", src=1)
+        cluster.drop_kind("phase1a", src=2)
+        cluster.deliver_kind("phase1a", src=0)
+        cluster.deliver_kind("phase1b")
+        # Its accept reaches p0 and p1 (a majority) but not p2; the resulting
+        # accepted ("chosen") value is p0's proposal "A".
+        cluster.deliver_kind("phase2a", dst=0, src=0)
+        cluster.deliver_kind("phase2a", dst=1, src=0)
+        cluster.drop_kind("phase2a")
+        cluster.drop_kind("phase2b")
+        assert cluster.processes[1].acceptor.last_vote[1] == "A"
+        # p2 now starts a fresh, higher ballot (its pulse timer fires) without
+        # knowing about the accepted value directly.
+        cluster.harnesses[2].advance_local_time(5.0)
+        cluster.fire_timer(2, TraditionalPaxosProcess.LEADER_PULSE_TIMER)
+        cluster.deliver_all()
+        # Whatever got decided anywhere must be p0's value "A" (it was chosen).
+        assert cluster.decided_values() <= {"A"}
+
+    def test_delayed_accept_from_old_ballot_cannot_override(self):
+        cluster = traditional_cluster(values=["A", "B", "C"])
+        # p0's prepare reaches everyone; promises return; hold its accept back.
+        cluster.deliver_kind("phase1a")
+        cluster.deliver_kind("phase1b")
+        old_accepts = list(cluster.pending_of_kind("phase2a"))
+        for entry in old_accepts:
+            cluster.pending.remove(entry)
+        # p2 runs a complete higher ballot to a decision on its own value.
+        cluster.harnesses[2].advance_local_time(5.0)
+        cluster.fire_timer(2, TraditionalPaxosProcess.LEADER_PULSE_TIMER)
+        cluster.deliver_all()
+        decided_before = set(cluster.decided_values())
+        # Now the old, delayed accepts for p0's superseded ballot arrive.
+        cluster.pending.extend(old_accepts)
+        cluster.deliver_all()
+        assert cluster.decided_values() == decided_before or len(cluster.decided_values()) == 1
+        assert len(cluster.decided_values()) <= 1
+
+    def test_dueling_leaders_eventually_single_value(self):
+        cluster = traditional_cluster(values=["A", "B", "C"])
+        # All three believe they are leaders and have already sent prepares at
+        # start; deliver everything in pid order, then let rejected leaders retry.
+        cluster.deliver_all()
+        for pid in range(3):
+            cluster.harnesses[pid].advance_local_time(5.0)
+            cluster.fire_timer(pid, TraditionalPaxosProcess.LEADER_PULSE_TIMER)
+        cluster.deliver_all()
+        assert len(cluster.decided_values()) <= 1

@@ -1,0 +1,255 @@
+"""Integration tests of the kernel: Node lifecycle + Simulator + Network.
+
+These use tiny purpose-built protocols (defined below) rather than the
+consensus protocols, so kernel behaviour — delivery, timers with drift,
+crash/restart, stable storage, decision recording, determinism of the event
+loop — is tested in isolation.
+"""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ProcessStateError, SimulationError
+from repro.net.adversary import BenignAdversary, DropAllAdversary
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.synchrony import EventualSynchrony
+from repro.params import TimingParams
+from repro.sim.process import Process
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import SimulationConfig, Simulator
+
+from tests.helpers import make_params
+
+
+@dataclass(frozen=True)
+class Note(Message):
+    kind = "note"
+
+    text: str
+
+
+class PingProcess(Process):
+    """Broadcasts one note at start and records everything it receives."""
+
+    def on_start(self):
+        self.received = []
+        self.ctx.broadcast(Note(text=f"hello-from-{self.ctx.pid}"), include_self=False)
+
+    def on_message(self, message, sender):
+        self.received.append((sender, message.text))
+
+    def on_timer(self, name):
+        pass
+
+
+class TimerProcess(Process):
+    """Counts timer firings; decides after the third one."""
+
+    def on_start(self):
+        self.fired = 0
+        self.ctx.set_timer("tick", 1.0)
+
+    def on_message(self, message, sender):
+        pass
+
+    def on_timer(self, name):
+        self.fired += 1
+        if self.fired >= 3:
+            self.ctx.decide(f"done-{self.ctx.pid}")
+        else:
+            self.ctx.set_timer("tick", 1.0)
+
+
+class PersistentCounterProcess(Process):
+    """Persists an incarnation counter; decides on the value found on restart."""
+
+    def on_start(self):
+        boots = self.ctx.storage.get("boots", 0) + 1
+        self.ctx.storage.put("boots", boots)
+        if boots >= 2:
+            self.ctx.decide(boots)
+
+    def on_message(self, message, sender):
+        pass
+
+    def on_timer(self, name):
+        pass
+
+
+def build_simulator(factory, n=3, ts=0.0, seed=0, rho=0.0, adversary=None, max_time=1000.0):
+    params = make_params(rho=rho)
+    config = SimulationConfig(n=n, params=params, ts=ts, seed=seed, max_time=max_time)
+    model = EventualSynchrony(ts=ts, delta=params.delta, adversary=adversary)
+    network = Network(model=model, rng=SeededRng(seed, label="net"))
+    return Simulator(config=config, process_factory=factory, network=network)
+
+
+class TestDelivery:
+    def test_every_process_receives_every_broadcast(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=4)
+        sim.run(until=5.0)
+        for pid, node in sim.nodes.items():
+            senders = {sender for sender, _ in node.process.received}
+            assert senders == set(range(4)) - {pid}
+
+    def test_post_ts_delivery_within_delta(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        sim.run(until=5.0)
+        for envelope in sim.network.envelopes:
+            assert envelope.latency is not None
+            assert envelope.latency <= sim.config.params.delta
+
+    def test_messages_to_crashed_process_are_lost(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        sim.schedule_crash(1, 0.01)
+        sim.run(until=5.0)
+        assert sim.network.monitor.stats.to_crashed > 0
+        assert 1 in sim.crashed_pids()
+
+
+class TestTimers:
+    def test_timer_driven_decisions(self):
+        sim = build_simulator(lambda pid: TimerProcess(), n=3)
+        sim.run_until_decided()
+        assert sorted(sim.decisions) == [0, 1, 2]
+        # Three ticks of one (zero-drift) local second each.
+        for record in sim.decisions.values():
+            assert record.time == pytest.approx(3.0)
+
+    def test_clock_drift_changes_real_firing_times(self):
+        sim = build_simulator(lambda pid: TimerProcess(), n=5, rho=0.05, seed=3)
+        sim.run_until_decided()
+        times = sorted(record.time for record in sim.decisions.values())
+        assert times[0] != times[-1]
+        for time in times:
+            assert 3.0 / 1.05 <= time <= 3.0 / 0.95
+
+
+class TestCrashAndRestart:
+    def test_crash_stops_timers_and_messages(self):
+        sim = build_simulator(lambda pid: TimerProcess(), n=3)
+        sim.schedule_crash(0, 1.5)
+        sim.run(until=10.0)
+        assert 0 not in sim.decisions
+        assert 1 in sim.decisions and 2 in sim.decisions
+
+    def test_restart_builds_fresh_instance_with_old_storage(self):
+        sim = build_simulator(lambda pid: PersistentCounterProcess(), n=3)
+        sim.schedule_crash(0, 1.0)
+        sim.schedule_restart(0, 2.0)
+        sim.run(until=5.0)
+        assert sim.decisions[0].value == 2
+        node = sim.nodes[0]
+        assert node.incarnation == 2
+        assert node.crash_count == 1 and node.restart_count == 1
+
+    def test_crash_requires_active_process(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        sim.run(until=1.0)
+        sim.crash(0)
+        with pytest.raises(ProcessStateError):
+            sim.crash(0)
+
+    def test_restart_requires_crashed_process(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        sim.run(until=1.0)
+        with pytest.raises(ProcessStateError):
+            sim.restart(0)
+
+    def test_trace_records_lifecycle_events(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        sim.schedule_crash(2, 1.0)
+        sim.schedule_restart(2, 2.0)
+        sim.run(until=3.0)
+        assert sim.trace.count("crash", pid=2) == 1
+        assert sim.trace.count("restart", pid=2) == 1
+        assert sim.trace.count("start") == 3
+
+
+class TestScheduling:
+    def test_cannot_schedule_in_the_past(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        sim.run(until=2.0)
+        assert sim.now() > 0.0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(sim.now() - 0.1, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_in(-0.5, lambda: None)
+
+    def test_run_respects_until(self):
+        sim = build_simulator(lambda pid: TimerProcess(), n=3)
+        stopped_at = sim.run(until=1.5)
+        assert stopped_at <= 1.5
+        assert not sim.decisions
+
+    def test_run_respects_max_events(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=5)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+
+    def test_step_processes_one_event(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        assert sim.step() is True
+        assert sim.events_processed == 1
+
+    def test_stop_when_predicate(self):
+        sim = build_simulator(lambda pid: TimerProcess(), n=3)
+        sim.run(stop_when=lambda s: len(s.decisions) >= 1)
+        assert 1 <= len(sim.decisions) <= 3
+
+    def test_request_stop(self):
+        sim = build_simulator(lambda pid: TimerProcess(), n=3)
+        sim.schedule_at(0.5, sim.request_stop)
+        stopped_at = sim.run()
+        assert stopped_at == pytest.approx(0.5)
+
+
+class TestDeterminism:
+    def test_same_seed_gives_identical_runs(self):
+        def run_once():
+            sim = build_simulator(lambda pid: PingProcess(), n=4, seed=11, rho=0.02)
+            sim.run(until=5.0)
+            return [
+                (env.src, env.dst, env.deliver_time, env.dropped)
+                for env in sim.network.envelopes
+            ]
+
+        assert run_once() == run_once()
+
+    def test_different_seeds_give_different_delays(self):
+        def run_once(seed):
+            sim = build_simulator(lambda pid: PingProcess(), n=4, seed=seed)
+            sim.run(until=5.0)
+            return [env.deliver_time for env in sim.network.envelopes]
+
+        assert run_once(1) != run_once(2)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_configs(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n=0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n=3, ts=-1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n=3, ts=10.0, max_time=5.0)
+
+    def test_majority_property(self):
+        assert SimulationConfig(n=5).majority == 3
+        assert SimulationConfig(n=6).majority == 4
+
+    def test_initial_values_padded_with_defaults(self):
+        sim = build_simulator(lambda pid: PingProcess(), n=3)
+        assert sim.proposals == {0: "value-0", 1: "value-1", 2: "value-2"}
+
+    def test_explicit_initial_values(self):
+        params = make_params()
+        config = SimulationConfig(n=3, params=params, ts=0.0, seed=0, max_time=10.0)
+        model = EventualSynchrony(ts=0.0, delta=1.0)
+        network = Network(model=model, rng=SeededRng(0))
+        sim = Simulator(config, lambda pid: PingProcess(), network, initial_values=["a", "b"])
+        assert sim.proposals == {0: "a", 1: "b", 2: "value-2"}

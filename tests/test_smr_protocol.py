@@ -1,0 +1,212 @@
+"""Transition-level unit tests for the multi-decree SMR protocol."""
+
+import pytest
+
+from repro.core.sessions import ballot_for
+from repro.smr.messages import (
+    CommandRequest,
+    MultiPhase1a,
+    MultiPhase1b,
+    MultiPhase2a,
+    MultiPhase2b,
+    SlotDecision,
+)
+from repro.smr.multi_paxos import MultiPaxosSmrBuilder, MultiPaxosSmrProcess
+from repro.smr.workload import CommandSchedule
+
+from tests.helpers import ContextHarness, make_params
+
+
+def start_replica(pid=0, n=3, schedule=None):
+    harness = ContextHarness(pid=pid, n=n, params=make_params())
+    process = harness.start(MultiPaxosSmrProcess(schedule=schedule), initial_value=f"v{pid}")
+    return harness, process
+
+
+def make_promise(mbal, votes=(), decided=()):
+    return MultiPhase1b(mbal=mbal, votes=tuple(votes), decided=tuple(decided))
+
+
+def establish(harness, process):
+    """Drive the replica's own ballot through phase 1 (quorum of empty promises)."""
+    ballot = process.mbal
+    for sender in range(harness.n):
+        harness.deliver(make_promise(ballot), sender=sender)
+    assert process.is_established_leader
+    return ballot
+
+
+class TestStartupAndPhase1:
+    def test_start_broadcasts_phase1a_and_arms_timers(self):
+        harness, process = start_replica(pid=1)
+        assert len(harness.sent_of_kind("mphase1a")) == 3
+        assert "session" in harness.timers and "keepalive" in harness.timers
+        assert process.mbal == 1 and process.session == 0
+
+    def test_promise_carries_votes_and_decided_entries(self):
+        harness, process = start_replica(pid=0, n=3)
+        process.accepted[4] = (2, ("cmd-x", ("set", "k", 1)))
+        process.log.learn(0, ("cmd-0", ("set", "a", 1)))
+        harness.clear_sent()
+        harness.deliver(MultiPhase1a(mbal=7), sender=1)
+        replies = harness.sent_of_kind("mphase1b")
+        assert [item.dst for item in replies] == [1]
+        message = replies[0].message
+        assert message.votes_dict() == {4: (2, ("cmd-x", ("set", "k", 1)))}
+        assert message.decided_dict() == {0: ("cmd-0", ("set", "a", 1))}
+
+    def test_establishment_requires_quorum(self):
+        harness, process = start_replica(pid=0, n=5)
+        harness.deliver(make_promise(process.mbal), sender=1)
+        harness.deliver(make_promise(process.mbal), sender=2)
+        assert not process.is_established_leader
+        harness.deliver(make_promise(process.mbal), sender=3)
+        assert process.is_established_leader
+        assert harness.emitted_events("leader_established")
+
+    def test_establishment_reproposes_votes_and_fills_gaps_with_noops(self):
+        harness, process = start_replica(pid=0, n=3)
+        harness.clear_sent()
+        harness.deliver(make_promise(process.mbal, votes=[(2, (1, ("cmd-a", ("set", "x", 1))))]), sender=1)
+        harness.deliver(make_promise(process.mbal), sender=2)
+        proposals = {item.message.slot: item.message.value for item in harness.sent_of_kind("mphase2a")}
+        assert proposals[2] == ("cmd-a", ("set", "x", 1))
+        # Slots 0 and 1 had no votes: filled with no-ops so the prefix closes.
+        assert proposals[0][1] == ("noop",)
+        assert proposals[1][1] == ("noop",)
+
+    def test_decided_entries_in_promises_are_learned_by_anyone(self):
+        harness, process = start_replica(pid=2, n=3)  # not the owner of ballot 0
+        harness.deliver(make_promise(0, decided=[(0, ("cmd-0", ("set", "a", 1)))]), sender=1)
+        assert process.log.get(0) == ("cmd-0", ("set", "a", 1))
+
+
+class TestPhase2:
+    def test_accept_and_ack(self):
+        harness, process = start_replica(pid=1, n=3)
+        harness.clear_sent()
+        harness.deliver(MultiPhase2a(mbal=6, slot=0, value=("c", ("set", "k", 1))), sender=0)
+        assert process.accepted[0] == (6, ("c", ("set", "k", 1)))
+        acks = harness.sent_of_kind("mphase2b")
+        assert len(acks) == 3 and acks[0].message.slot == 0
+
+    def test_stale_accept_ignored(self):
+        harness, process = start_replica(pid=1, n=3)
+        harness.deliver(MultiPhase1a(mbal=9), sender=0)
+        harness.clear_sent()
+        harness.deliver(MultiPhase2a(mbal=3, slot=0, value=("c", ("set", "k", 1))), sender=0)
+        assert harness.sent_of_kind("mphase2b") == []
+        assert 0 not in process.accepted
+
+    def test_quorum_of_acks_learns_the_slot(self):
+        harness, process = start_replica(pid=0, n=3)
+        value = ("cmd-1", ("set", "k", 1))
+        harness.deliver(MultiPhase2b(mbal=5, slot=0, value=value), sender=1)
+        assert process.log.get(0) is None
+        harness.deliver(MultiPhase2b(mbal=5, slot=0, value=value), sender=2)
+        assert process.log.get(0) == value
+        assert [f["slot"] for f in harness.emitted_events("slot_decide")] == [0]
+
+    def test_slot_decision_message_learns_directly(self):
+        harness, process = start_replica(pid=0, n=3)
+        harness.deliver(SlotDecision(slot=3, value=("c", ("set", "k", 2))), sender=2)
+        assert process.log.get(3) == ("c", ("set", "k", 2))
+
+
+class TestCommands:
+    def test_established_leader_assigns_submitted_commands(self):
+        schedule = [(0.0, "cmd-a", ("set", "x", 1))]
+        harness, process = start_replica(pid=0, n=3, schedule=schedule)
+        establish(harness, process)
+        harness.clear_sent()
+        harness.fire_timer("submit-0")
+        proposals = harness.sent_of_kind("mphase2a")
+        assert proposals and proposals[0].message.value == ("cmd-a", ("set", "x", 1))
+        assert harness.emitted_events("command_assign")
+
+    def test_non_owner_forwards_to_ballot_owner(self):
+        harness, process = start_replica(pid=0, n=3)
+        harness.deliver(MultiPhase1a(mbal=7), sender=1)  # now promised to ballot owned by 1
+        harness.clear_sent()
+        process._submit("cmd-b", ("set", "y", 2))
+        forwards = harness.sent_of_kind("cmd_request")
+        assert [item.dst for item in forwards] == [1]
+
+    def test_leader_handles_forwarded_request(self):
+        harness, process = start_replica(pid=0, n=3)
+        establish(harness, process)
+        harness.clear_sent()
+        harness.deliver(CommandRequest(command_id="cmd-c", command=("set", "z", 3), origin=2), sender=2)
+        proposals = harness.sent_of_kind("mphase2a")
+        assert proposals and proposals[0].message.value == ("cmd-c", ("set", "z", 3))
+
+    def test_duplicate_requests_are_assigned_once(self):
+        harness, process = start_replica(pid=0, n=3)
+        establish(harness, process)
+        harness.clear_sent()
+        request = CommandRequest(command_id="cmd-d", command=("set", "w", 4), origin=2)
+        harness.deliver(request, sender=2)
+        harness.deliver(request, sender=2)
+        # One assignment only: a single phase-2a broadcast, all for the same slot.
+        assert len(harness.emitted_events("command_assign")) == 1
+        slots = {item.message.slot for item in harness.sent_of_kind("mphase2a")}
+        assert slots == {0}
+
+    def test_logged_command_not_reassigned(self):
+        harness, process = start_replica(pid=0, n=3)
+        establish(harness, process)
+        process.log.learn(0, ("cmd-e", ("set", "q", 5)))
+        harness.clear_sent()
+        harness.deliver(CommandRequest(command_id="cmd-e", command=("set", "q", 5), origin=1), sender=1)
+        assert harness.sent_of_kind("mphase2a") == []
+
+
+class TestLeaderStability:
+    def test_owner_message_rearms_session_timer(self):
+        harness, process = start_replica(pid=2, n=3)
+        harness.deliver(MultiPhase1a(mbal=7), sender=1)  # adopt ballot 7 owned by p1
+        harness.timers.pop("session")  # pretend it is about to expire
+        harness.deliver(MultiPhase1a(mbal=7), sender=1)  # keep-alive from the owner
+        assert "session" in harness.timers
+
+    def test_non_owner_message_does_not_rearm(self):
+        harness, process = start_replica(pid=2, n=3)
+        harness.deliver(MultiPhase1a(mbal=7), sender=1)
+        harness.timers.pop("session")
+        harness.deliver(MultiPhase2b(mbal=7, slot=0, value=("c", ("set", "k", 1))), sender=0)
+        assert "session" not in harness.timers
+
+    def test_session_timeout_still_starts_new_session_when_owner_silent(self):
+        harness, process = start_replica(pid=1, n=3)
+        harness.fire_timer("session")
+        assert process.session == 1
+        assert process.mbal == ballot_for(1, 1, 3)
+
+    def test_higher_session_requires_majority_evidence(self):
+        harness, process = start_replica(pid=0, n=3)
+        harness.deliver(MultiPhase1a(mbal=4), sender=1)  # session 1, heard one process
+        harness.fire_timer("session")
+        assert process.session == 1  # blocked by the majority-entry rule
+
+
+class TestRestart:
+    def test_restart_recovers_log_ballot_and_accepted_state(self):
+        harness, process = start_replica(pid=0, n=3)
+        harness.deliver(MultiPhase1a(mbal=7), sender=1)
+        harness.deliver(MultiPhase2a(mbal=7, slot=0, value=("c0", ("set", "a", 1))), sender=1)
+        harness.deliver(SlotDecision(slot=1, value=("c1", ("set", "b", 2))), sender=2)
+        restarted = harness.restart(MultiPaxosSmrProcess(), initial_value="v0")
+        assert restarted.mbal == 7
+        assert restarted.accepted[0] == (7, ("c0", ("set", "a", 1)))
+        assert restarted.log.get(1) == ("c1", ("set", "b", 2))
+
+
+class TestBuilder:
+    def test_builder_passes_per_pid_schedules(self):
+        schedule = CommandSchedule().add(1, 2.0, "cmd-a", ("set", "x", 1))
+        builder = MultiPaxosSmrBuilder(schedule=schedule)
+        with_schedule = builder.create(1)
+        without_schedule = builder.create(0)
+        assert with_schedule._schedule == [(2.0, "cmd-a", ("set", "x", 1))]
+        assert without_schedule._schedule == []
+        assert "session-entry-rule" in builder.invariant_checks()

@@ -1,0 +1,151 @@
+"""Unit tests for stable storage (`repro.storage`)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.journal import Journal
+from repro.storage.stable import StableStore
+
+
+class TestStableStoreBasics:
+    def test_put_get_roundtrip(self):
+        store = StableStore(owner=0)
+        store.put("mbal", 17)
+        assert store.get("mbal") == 17
+
+    def test_get_default_for_missing_key(self):
+        store = StableStore(owner=0)
+        assert store.get("missing") is None
+        assert store.get("missing", default=5) == 5
+
+    def test_require_raises_for_missing_key(self):
+        store = StableStore(owner=0)
+        with pytest.raises(StorageError):
+            store.require("missing")
+        store.put("x", 1)
+        assert store.require("x") == 1
+
+    def test_non_string_keys_rejected(self):
+        store = StableStore(owner=0)
+        with pytest.raises(StorageError):
+            store.put(42, "value")
+        with pytest.raises(StorageError):
+            store.update({3: "value"})
+
+    def test_delete(self):
+        store = StableStore(owner=0)
+        store.put("x", 1)
+        assert store.delete("x") is True
+        assert store.delete("x") is False
+        assert "x" not in store
+
+    def test_contains_len_iter(self):
+        store = StableStore(owner=0)
+        store.put("b", 2)
+        store.put("a", 1)
+        assert "a" in store and "b" in store
+        assert len(store) == 2
+        assert list(store) == ["a", "b"]
+
+    def test_update_writes_multiple_keys_as_one_write(self):
+        store = StableStore(owner=0)
+        before = store.write_count
+        store.update({"x": 1, "y": 2})
+        assert store.get("x") == 1 and store.get("y") == 2
+        assert store.write_count == before + 1
+
+    def test_counts_reads_and_writes(self):
+        store = StableStore(owner=0)
+        store.put("x", 1)
+        store.get("x")
+        store.get("x")
+        assert store.write_count == 1
+        assert store.read_count == 2
+
+
+class TestCrashSemantics:
+    def test_values_are_deep_copied_on_write(self):
+        store = StableStore(owner=0)
+        value = {"nested": [1, 2]}
+        store.put("state", value)
+        value["nested"].append(3)
+        assert store.get("state") == {"nested": [1, 2]}
+
+    def test_values_are_deep_copied_on_read(self):
+        store = StableStore(owner=0)
+        store.put("state", {"nested": [1]})
+        read = store.get("state")
+        read["nested"].append(99)
+        assert store.get("state") == {"nested": [1]}
+
+    def test_shallow_mode_can_be_requested(self):
+        store = StableStore(owner=0, deep_copy=False)
+        value = [1]
+        store.put("v", value)
+        value.append(2)
+        assert store.get("v") == [1, 2]
+
+    def test_snapshot_and_restore(self):
+        store = StableStore(owner=0)
+        store.put("a", 1)
+        snapshot = store.snapshot()
+        store.put("a", 2)
+        store.put("b", 3)
+        store.restore(snapshot)
+        assert store.get("a") == 1
+        assert "b" not in store
+
+    def test_clear(self):
+        store = StableStore(owner=0)
+        store.put("a", 1)
+        store.clear()
+        assert len(store) == 0
+
+
+class TestJournal:
+    def test_append_and_replay(self):
+        journal = Journal(owner=1)
+        journal.append("mbal", 1)
+        journal.append("aval", "x")
+        journal.append("mbal", 2)
+        assert journal.replay() == {"mbal": 2, "aval": "x"}
+        assert len(journal) == 3
+
+    def test_last_returns_most_recent_entry(self):
+        journal = Journal(owner=1)
+        journal.append("k", "old")
+        journal.append("k", "new")
+        entry = journal.last("k")
+        assert entry is not None and entry.value == "new"
+        assert journal.last("missing") is None
+
+    def test_entries_are_immutable_copies(self):
+        journal = Journal(owner=1)
+        value = [1]
+        journal.append("k", value)
+        value.append(2)
+        assert journal.replay() == {"k": [1]}
+
+    def test_sequence_numbers_are_monotonic(self):
+        journal = Journal(owner=1)
+        entries = [journal.append("k", i) for i in range(5)]
+        assert [entry.seq for entry in entries] == list(range(5))
+
+    def test_non_string_keys_rejected(self):
+        journal = Journal(owner=1)
+        with pytest.raises(StorageError):
+            journal.append(7, "x")
+
+    def test_truncate_keeps_suffix(self):
+        journal = Journal(owner=1)
+        for i in range(6):
+            journal.append("k", i)
+        dropped = journal.truncate(keep_last=2)
+        assert dropped == 4
+        assert len(journal) == 2
+        assert journal.replay() == {"k": 5}
+
+    def test_truncate_rejects_negative(self):
+        journal = Journal(owner=1)
+        with pytest.raises(StorageError):
+            journal.truncate(-1)

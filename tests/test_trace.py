@@ -1,0 +1,85 @@
+"""Unit tests for the structured trace (`repro.analysis.trace`)."""
+
+from repro.analysis.trace import TraceEvent, TraceRecorder
+
+
+class TestRecording:
+    def test_record_and_len(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "net", "send", pid=0, kind="phase1a")
+        trace.record(2.0, "sim", "decide", pid=1, value="v")
+        assert len(trace) == 2
+        assert [event.event for event in trace] == ["send", "decide"]
+
+    def test_disabled_recorder_is_noop(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(1.0, "net", "send")
+        assert len(trace) == 0
+
+    def test_capacity_stops_recording_and_flags_truncation(self):
+        trace = TraceRecorder(capacity=2)
+        for i in range(5):
+            trace.record(float(i), "sim", "tick")
+        assert len(trace) == 2
+        assert trace.truncated is True
+
+    def test_events_returns_copy(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "sim", "tick")
+        events = trace.events
+        events.clear()
+        assert len(trace) == 1
+
+
+class TestQueries:
+    def _populate(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "protocol", "session_enter", pid=0, session=0)
+        trace.record(2.0, "protocol", "session_enter", pid=1, session=1)
+        trace.record(3.0, "protocol", "start_phase1", pid=0, session=1)
+        trace.record(4.0, "node", "crash", pid=1)
+        return trace
+
+    def test_filter_by_event_and_pid(self):
+        trace = self._populate()
+        assert len(trace.filter(event="session_enter")) == 2
+        assert len(trace.filter(event="session_enter", pid=0)) == 1
+        assert len(trace.filter(category="node")) == 1
+
+    def test_filter_with_predicate(self):
+        trace = self._populate()
+        high_sessions = trace.filter(
+            event="session_enter", predicate=lambda e: e.fields.get("session", 0) >= 1
+        )
+        assert len(high_sessions) == 1
+
+    def test_first_and_last(self):
+        trace = self._populate()
+        assert trace.first("session_enter").pid == 0
+        assert trace.last("session_enter").pid == 1
+        assert trace.first("nonexistent") is None
+        assert trace.last("nonexistent") is None
+
+    def test_count(self):
+        trace = self._populate()
+        assert trace.count("session_enter") == 2
+        assert trace.count("crash", category="node") == 1
+
+    def test_dump_renders_and_limits(self):
+        trace = self._populate()
+        text = trace.dump(limit=2)
+        assert "session_enter" in text
+        assert "more events" in text
+        full = trace.dump()
+        assert "crash" in full
+
+
+class TestTraceEvent:
+    def test_describe_contains_fields(self):
+        event = TraceEvent(time=1.5, category="protocol", event="decide", pid=3, fields={"v": 1})
+        text = event.describe()
+        assert "decide" in text and "p3" in text and "v=1" in text
+
+    def test_describe_without_pid(self):
+        event = TraceEvent(time=1.5, category="sim", event="tick")
+        assert "--" in event.describe()
