@@ -7,10 +7,17 @@ letting pytest-benchmark calibrate thousands of iterations.  The regenerated
 table is printed so that running ``pytest benchmarks/ --benchmark-only -s``
 (or reading ``bench_output.txt``) shows the paper-shaped results alongside
 the timings.
+
+Set ``REPRO_BENCH_JOBS=N`` to fan each experiment's runs out over ``N``
+worker processes (experiments that accept an ``executor`` get a shared
+parallel one; the regenerated tables are identical to serial runs because
+every simulation is seeded and deterministic — only the wall-clock column
+changes).
 """
 
 from __future__ import annotations
 
+import inspect
 import os
 import sys
 
@@ -20,6 +27,11 @@ import pytest
 _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+from repro.harness.executors import make_executor  # noqa: E402
+
+_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+_EXECUTOR = make_executor(_JOBS)
 
 _TABLES_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)), "benchmark_tables.txt")
 _tables_initialized = False
@@ -41,7 +53,13 @@ def _persist_table(rendered: str) -> None:
 
 
 def run_experiment_once(benchmark, experiment_fn, **kwargs):
-    """Run ``experiment_fn(**kwargs)`` once under the benchmark timer."""
+    """Run ``experiment_fn(**kwargs)`` once under the benchmark timer.
+
+    When ``REPRO_BENCH_JOBS`` asks for parallelism, the shared executor is
+    handed to every experiment that accepts one.
+    """
+    if _JOBS > 1 and "executor" in inspect.signature(experiment_fn).parameters:
+        kwargs.setdefault("executor", _EXECUTOR)
     table = benchmark.pedantic(lambda: experiment_fn(**kwargs), rounds=1, iterations=1)
     rendered = table.render()
     print()

@@ -17,7 +17,7 @@ Run with::
     python examples/datacenter_failover.py
 """
 
-from repro import TimingParams, restart_after_stability_scenario, run_scenario
+from repro import TimingParams, default_workload_registry, run_scenario
 from repro.analysis.metrics import restart_recovery_lags
 from repro.core.timing import restart_decision_bound
 
@@ -27,8 +27,8 @@ REJOIN_OFFSETS = [5.0, 25.0, 60.0]  # how long after stabilization each straggle
 
 
 def main() -> None:
-    scenario = restart_after_stability_scenario(
-        NODES, params=PARAMS, ts=10.0, seed=3, restart_offsets=REJOIN_OFFSETS
+    scenario = default_workload_registry().create(
+        "restarts", n=NODES, params=PARAMS, ts=10.0, seed=3, restart_offsets=REJOIN_OFFSETS
     )
     scenario.initial_values = [f"prefer-dc-{pid % 2}" for pid in range(NODES)]
     print(scenario.describe())

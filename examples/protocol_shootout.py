@@ -1,20 +1,30 @@
 #!/usr/bin/env python3
 """Scenario: side-by-side protocol comparison on one hostile workload.
 
-Runs all five protocols in the repository (the paper's Modified Paxos, the
-Modified B-Consensus sketch, the original B-Consensus, Ω-driven traditional
-Paxos, and the rotating-coordinator algorithm) over the *same* sequence of
-pre-stabilization chaos workloads, and prints a small table of post-``TS``
-decision lags and message counts.  This is a scripted, smaller sibling of
-experiment E8.
+Runs all registered protocols over the *same* sequence of
+pre-stabilization chaos workloads — declared once as an
+:class:`ExperimentSpec` over the ``partitioned-chaos`` registry workload —
+and prints a small table of post-``TS`` decision lags and message counts.
+This is a scripted, smaller sibling of experiment E8.
 
 Run with::
 
-    python examples/protocol_shootout.py
+    python examples/protocol_shootout.py [--jobs N]
+
+``--jobs 4`` fans the (protocol, seed) runs out over four worker
+processes; the results are identical to a serial run because every
+simulation is seeded and deterministic.
 """
 
-from repro import TimingParams, partitioned_chaos_scenario, run_scenario
-from repro.consensus.registry import default_registry
+import argparse
+
+from repro import (
+    ExperimentSpec,
+    TimingParams,
+    default_registry,
+    lag_delta,
+    run_experiment,
+)
 from repro.core.timing import decision_bound
 from repro.harness.tables import render_table
 
@@ -24,29 +34,37 @@ PARAMS = TimingParams(delta=1.0, rho=0.01, epsilon=0.5)
 
 
 def main() -> None:
-    registry = default_registry()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes (1 = serial)")
+    args = parser.parse_args()
+
+    spec = ExperimentSpec(
+        workload="partitioned-chaos",
+        protocols=tuple(default_registry().names()),
+        seeds=SEEDS,
+        base={"n": N, "params": PARAMS, "ts": 10.0},
+    )
+    results = run_experiment(spec, jobs=args.jobs)
+
+    def fmt(value):
+        return f"{value:.2f}" if value is not None else "undecided"
+
     rows = []
-    for protocol in registry.names():
-        lags = []
-        messages = []
-        for seed in SEEDS:
-            scenario = partitioned_chaos_scenario(N, params=PARAMS, ts=10.0, seed=seed)
-            result = run_scenario(scenario, protocol, registry=registry)
-            if not result.safety.valid:
-                raise AssertionError(f"{protocol} violated safety: {result.safety.violations}")
-            lag = result.max_lag_after_ts()
-            lags.append(lag if lag is not None else float("nan"))
-            messages.append(result.metrics.messages_sent)
+    for (protocol,), subset in results.group_by("protocol").items():
+        unsafe = [row for row in subset if not row.outcome.extra["safety_valid"]]
+        if unsafe:
+            raise AssertionError(f"{protocol} violated safety")
         rows.append(
             [
                 protocol,
-                f"{min(lags):.2f}",
-                f"{max(lags):.2f}",
-                f"{sum(messages) // len(messages)}",
+                fmt(subset.min(lag_delta)),
+                fmt(subset.max(lag_delta)),
+                f"{int(subset.total(lambda row: row.outcome.messages_sent)) // len(subset)}",
             ]
         )
 
-    print(f"n={N}, {len(SEEDS)} seeds, partitioned chaos before TS, delta=1")
+    print(f"n={N}, {len(SEEDS)} seeds, partitioned chaos before TS, delta=1, "
+          f"jobs={args.jobs}")
     print(f"Modified Paxos analytic bound: {decision_bound(PARAMS):.1f} delta")
     print()
     print(

@@ -3,10 +3,11 @@
 
 This is the smallest end-to-end use of the library:
 
-1. build a workload (``partitioned_chaos_scenario``): before the unknown
-   stabilization time ``TS`` the network keeps the processes split into
-   minority groups, loses most messages, and crashes/restarts a minority;
-   after ``TS`` every message arrives within ``δ``;
+1. resolve a workload by name through the scenario registry
+   (``partitioned-chaos``): before the unknown stabilization time ``TS``
+   the network keeps the processes split into minority groups, loses most
+   messages, and crashes/restarts a minority; after ``TS`` every message
+   arrives within ``δ``;
 2. run the paper's session-based Modified Paxos on it;
 3. check safety and print how long after ``TS`` each process decided,
    compared with the paper's analytic bound ``ε + 3τ + 5δ`` (≈ 17–18 δ).
@@ -16,13 +17,14 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import TimingParams, decision_bound, partitioned_chaos_scenario, run_scenario
+from repro import TimingParams, decision_bound, default_workload_registry, run_scenario
 
 
 def main() -> None:
     params = TimingParams(delta=1.0, rho=0.01, epsilon=0.5)
     ts = 10.0  # the processes do not know this; the harness does
-    scenario = partitioned_chaos_scenario(n=7, params=params, ts=ts, seed=42)
+    workloads = default_workload_registry()
+    scenario = workloads.create("partitioned-chaos", n=7, params=params, ts=ts, seed=42)
 
     print(scenario.describe())
     print()

@@ -22,7 +22,7 @@ Run with::
     python examples/replicated_kv_store.py
 """
 
-from repro import TimingParams, partitioned_chaos_scenario
+from repro import TimingParams, default_workload_registry
 from repro.smr import KeyValueStore, run_smr, uniform_schedule
 from repro.smr.workload import CommandSchedule
 
@@ -50,7 +50,9 @@ def build_schedule(survivor: int) -> CommandSchedule:
 
 
 def main() -> None:
-    scenario = partitioned_chaos_scenario(REPLICAS, params=PARAMS, ts=TS, seed=21)
+    scenario = default_workload_registry().create(
+        "partitioned-chaos", n=REPLICAS, params=PARAMS, ts=TS, seed=21
+    )
     survivor = scenario.deciders()[0]
     schedule = build_schedule(survivor)
 

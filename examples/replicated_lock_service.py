@@ -21,18 +21,12 @@ Run with::
     python examples/replicated_lock_service.py
 """
 
-from repro import (
-    TimingParams,
-    coordinator_crash_scenario,
-    decision_bound,
-    obsolete_ballot_scenario,
-    partitioned_chaos_scenario,
-    run_scenario,
-)
+from repro import TimingParams, decision_bound, default_workload_registry, run_scenario
 
 REPLICAS = 9
 PARAMS = TimingParams(delta=1.0, rho=0.01, epsilon=0.5)
 CANDIDATE_PRIMARIES = [f"replica-{i}" for i in range(REPLICAS)]
+WORKLOADS = default_workload_registry()
 
 
 def report(label: str, result) -> None:
@@ -47,13 +41,13 @@ def main() -> None:
     print(f"paper bound for Modified Paxos: {decision_bound(PARAMS):.1f} delta\n")
 
     # 1. Generic messy outage: partitions, message loss, a couple of crashes.
-    outage = partitioned_chaos_scenario(REPLICAS, params=PARAMS, ts=12.0, seed=7)
+    outage = WORKLOADS.create("partitioned-chaos", n=REPLICAS, params=PARAMS, ts=12.0, seed=7)
     outage.initial_values = CANDIDATE_PRIMARIES
     report("modified Paxos after a partition outage", run_scenario(outage, "modified-paxos"))
 
     # 2. The same story for traditional Paxos, with the outage having left
     #    obsolete high-ballot prepare messages in flight.
-    stale_ballots = obsolete_ballot_scenario(REPLICAS, params=PARAMS, seed=7)
+    stale_ballots = WORKLOADS.create("obsolete-ballots", n=REPLICAS, params=PARAMS, seed=7)
     stale_ballots.initial_values = CANDIDATE_PRIMARIES
     report(
         "traditional Paxos with stale ballots from crashed replicas",
@@ -62,8 +56,8 @@ def main() -> None:
 
     # 3. Rotating coordinator when the outage killed the replicas that
     #    coordinate the first rounds.
-    dead_coordinators = coordinator_crash_scenario(
-        REPLICAS, params=PARAMS, seed=7, num_faulty=REPLICAS // 2
+    dead_coordinators = WORKLOADS.create(
+        "coordinator-crash", n=REPLICAS, params=PARAMS, seed=7, num_faulty=REPLICAS // 2
     )
     dead_coordinators.initial_values = CANDIDATE_PRIMARIES
     report(

@@ -10,19 +10,55 @@ deterministic discrete-event simulator of the paper's system model, plus the
 workloads, metrics, and experiment harness used to regenerate the paper's
 timing analysis as measured tables.
 
-Quick start::
+Quick start — one run.  Workloads and protocols are both resolved by name
+through registries; :func:`run_scenario` is the single-run primitive::
 
-    from repro import run_scenario, partitioned_chaos_scenario
+    from repro import default_workload_registry, run_scenario
 
-    scenario = partitioned_chaos_scenario(n=5, seed=7)
+    workloads = default_workload_registry()
+    scenario = workloads.create("partitioned-chaos", n=5, seed=7)
     result = run_scenario(scenario, "modified-paxos")
-    print(result.metrics.decisions.max_lag_after_ts())   # decision lag after TS
+    print(result.max_lag_after_ts())       # decision lag after TS
+
+Quick start — an experiment grid.  :class:`ExperimentSpec` declares
+protocols × workload parameters × seeds; ``jobs=N`` fans the runs out over
+a process pool, and the returned :class:`ResultSet` supports filtering,
+grouping, and summary statistics::
+
+    from repro import ExperimentSpec, lag_delta, run_experiment
+
+    spec = ExperimentSpec(
+        workload="partitioned-chaos",
+        protocols=("modified-paxos", "traditional-paxos"),
+        seeds=(1, 2, 3),
+        grid={"n": (5, 9, 15)},
+    )
+    results = run_experiment(spec, jobs=4)
+    for (protocol, n), subset in results.group_by("protocol", "n").items():
+        print(protocol, n, subset.max(lag_delta))
+
+``python -m repro list-workloads`` and ``python -m repro list-protocols``
+print everything the registries know.
 """
 
 from repro._version import __version__
 from repro.consensus.registry import default_registry
 from repro.core.modified_paxos import ModifiedPaxosBuilder, ModifiedPaxosProcess
 from repro.core.timing import decision_bound, restart_decision_bound
+from repro.harness.executors import (
+    Executor,
+    ParallelExecutor,
+    RunTask,
+    SerialExecutor,
+    make_executor,
+)
+from repro.harness.experiment import (
+    ExperimentSpec,
+    ResultRow,
+    ResultSet,
+    lag_delta,
+    run_experiment,
+)
 from repro.harness.runner import RunResult, run_scenario
 from repro.harness.sweep import sweep
 from repro.params import TimingParams
@@ -30,15 +66,24 @@ from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
 from repro.workloads.coordinator_faults import coordinator_crash_scenario
 from repro.workloads.obsolete import obsolete_ballot_scenario
+from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.restarts import restart_after_stability_scenario
 from repro.workloads.scenario import Scenario
 from repro.workloads.stable import stable_scenario
 
 __all__ = [
+    "Executor",
+    "ExperimentSpec",
     "ModifiedPaxosBuilder",
     "ModifiedPaxosProcess",
+    "ParallelExecutor",
+    "ResultRow",
+    "ResultSet",
     "RunResult",
+    "RunTask",
     "Scenario",
+    "ScenarioRegistry",
+    "SerialExecutor",
     "SimulationConfig",
     "Simulator",
     "TimingParams",
@@ -46,11 +91,15 @@ __all__ = [
     "coordinator_crash_scenario",
     "decision_bound",
     "default_registry",
+    "default_workload_registry",
+    "lag_delta",
     "lossy_chaos_scenario",
+    "make_executor",
     "obsolete_ballot_scenario",
     "partitioned_chaos_scenario",
     "restart_after_stability_scenario",
     "restart_decision_bound",
+    "run_experiment",
     "run_scenario",
     "stable_scenario",
     "sweep",

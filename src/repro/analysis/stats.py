@@ -62,14 +62,21 @@ def summarize(values: Sequence[float]) -> Summary:
     if not values:
         raise ConfigurationError("cannot summarize an empty sample")
     data = [float(v) for v in values]
+    minimum = min(data)
+    maximum = max(data)
+    # math.fsum keeps the sum exact; the final division still rounds once,
+    # so clamp against the sample range (e.g. the mean of identical values
+    # must not exceed their maximum).
+    mean = math.fsum(data) / len(data)
+    mean = min(max(mean, minimum), maximum)
     return Summary(
         count=len(data),
-        mean=statistics.fmean(data),
+        mean=mean,
         std=statistics.pstdev(data) if len(data) > 1 else 0.0,
-        minimum=min(data),
+        minimum=minimum,
         median=statistics.median(data),
         p95=percentile(data, 0.95),
-        maximum=max(data),
+        maximum=maximum,
     )
 
 

@@ -1,20 +1,24 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro run --protocol modified-paxos --workload partitioned-chaos --n 7 --seed 42
     python -m repro list-protocols
-    python -m repro experiments --scale smoke --out results/
+    python -m repro list-workloads
+    python -m repro experiments --scale smoke --jobs 4 --out results/
 
 ``run`` executes a single (workload, protocol) pair and prints the run
-report; ``experiments`` delegates to the campaign runner
-(:mod:`repro.harness.campaign`).
+report; workloads are resolved by name through the
+:class:`~repro.workloads.registry.ScenarioRegistry`, protocols through the
+:class:`~repro.consensus.registry.ProtocolRegistry`.  ``experiments``
+delegates to the campaign runner (:mod:`repro.harness.campaign`); with
+``--jobs N`` the runs fan out over a process pool.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_run_report
 from repro.analysis.timeline import render_timelines
@@ -23,40 +27,27 @@ from repro.errors import ConfigurationError
 from repro.harness.campaign import run_campaign, write_report
 from repro.harness.runner import run_scenario
 from repro.params import TimingParams
-from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
-from repro.workloads.coordinator_faults import coordinator_crash_scenario
-from repro.workloads.obsolete import obsolete_ballot_scenario
-from repro.workloads.restarts import restart_after_stability_scenario
+from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.scenario import Scenario
-from repro.workloads.stable import stable_scenario
 
 __all__ = ["main", "build_parser", "WORKLOADS"]
 
-
-def _build_workload(name: str, n: int, params: TimingParams, ts: Optional[float], seed: int) -> Scenario:
-    if name == "stable":
-        return stable_scenario(n, params=params, seed=seed)
-    if name == "partitioned-chaos":
-        return partitioned_chaos_scenario(n, params=params, ts=ts, seed=seed)
-    if name == "lossy-chaos":
-        return lossy_chaos_scenario(n, params=params, ts=ts, seed=seed)
-    if name == "obsolete-ballots":
-        return obsolete_ballot_scenario(n, params=params, ts=ts, seed=seed)
-    if name == "coordinator-crash":
-        return coordinator_crash_scenario(n, params=params, ts=ts, seed=seed)
-    if name == "restarts":
-        return restart_after_stability_scenario(n, params=params, ts=ts, seed=seed)
-    raise ConfigurationError(f"unknown workload {name!r}")
+WORKLOADS: List[str] = default_workload_registry().names()
 
 
-WORKLOADS: List[str] = [
-    "stable",
-    "partitioned-chaos",
-    "lossy-chaos",
-    "obsolete-ballots",
-    "coordinator-crash",
-    "restarts",
-]
+def _build_workload(
+    registry: ScenarioRegistry,
+    name: str,
+    n: int,
+    params: TimingParams,
+    ts: Optional[float],
+    seed: int,
+) -> Scenario:
+    kwargs = {"n": n, "params": params, "seed": seed}
+    if ts is not None:
+        # Let a workload without a ts knob (e.g. "stable") reject it clearly.
+        kwargs["ts"] = ts
+    return registry.create(name, **kwargs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +76,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also print a per-process timeline of the run")
 
     subparsers.add_parser("list-protocols", help="list registered protocols")
+    list_workloads = subparsers.add_parser(
+        "list-workloads", help="list registered workloads and their parameters"
+    )
+    list_workloads.add_argument("--params", action="store_true",
+                                help="also print each workload's parameter schema")
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="run the experiment campaign (E1-E9)"
@@ -95,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--experiment", action="append", dest="experiments",
         help="run only this experiment id (repeatable)",
     )
+    experiments_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the experiment runs (1 = serial)",
+    )
     return parser
 
 
@@ -104,7 +104,12 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.protocol not in registry:
         print(f"unknown protocol {args.protocol!r}; available: {', '.join(registry.names())}")
         return 2
-    scenario = _build_workload(args.workload, args.n, params, args.ts, args.seed)
+    workloads = default_workload_registry()
+    try:
+        scenario = _build_workload(workloads, args.workload, args.n, params, args.ts, args.seed)
+    except ConfigurationError as error:
+        print(error)
+        return 2
     result = run_scenario(
         scenario,
         args.protocol,
@@ -120,15 +125,37 @@ def _command_run(args: argparse.Namespace) -> int:
     return 0 if result.safety.valid else 1
 
 
+def _render_listing(entries: Sequence[Tuple[str, str]]) -> str:
+    """One aligned ``name  summary`` line per registry entry."""
+    if not entries:
+        return ""
+    width = max(len(name) for name, _ in entries)
+    return "\n".join(
+        f"{name.ljust(width)}  {summary}" if summary else name for name, summary in entries
+    )
+
+
 def _command_list_protocols(_args: argparse.Namespace) -> int:
     registry = default_registry()
-    for name in registry.names():
-        print(name)
+    print(_render_listing([(name, registry.summary(name)) for name in registry.names()]))
+    return 0
+
+
+def _command_list_workloads(args: argparse.Namespace) -> int:
+    registry = default_workload_registry()
+    specs = [registry.get(name) for name in registry.names()]
+    print(_render_listing([(spec.name, spec.summary) for spec in specs]))
+    if args.params:
+        for spec in specs:
+            print()
+            print(spec.describe())
     return 0
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
-    result = run_campaign(scale=args.scale, experiments=args.experiments, progress=print)
+    result = run_campaign(
+        scale=args.scale, experiments=args.experiments, progress=print, jobs=args.jobs
+    )
     report = write_report(result, args.out)
     print(f"wrote {report}")
     return 0
@@ -137,6 +164,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "run": _command_run,
     "list-protocols": _command_list_protocols,
+    "list-workloads": _command_list_workloads,
     "experiments": _command_experiments,
 }
 

@@ -7,6 +7,7 @@ added in one place.
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict, Iterable, Type
 
 from repro.consensus.base import ProtocolBuilder
@@ -30,6 +31,16 @@ class ProtocolRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._factories)
+
+    def summary(self, name: str) -> str:
+        """First docstring line of the registered builder (for listings)."""
+        factory = self._factories.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown protocol {name!r}; available: {', '.join(self.names())}"
+            )
+        doc = inspect.getdoc(factory)
+        return doc.splitlines()[0].strip() if doc else ""
 
     def __contains__(self, name: str) -> bool:
         return name in self._factories

@@ -4,7 +4,8 @@ This is the "regenerate everything" entry point::
 
     python -m repro.harness.campaign --scale full --out results/
 
-It runs experiments E1–E9 at the requested scale, writes each regenerated
+It runs experiments E1–E9 at the requested scale (``--jobs N`` fans the
+runs of each experiment out over a process pool), writes each regenerated
 table to ``<out>/E*.txt``, and produces a combined Markdown report
 (``<out>/experiments_report.md``) with the analytic bounds next to the
 measured values — the same material EXPERIMENTS.md records for the checked-in
@@ -20,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.harness.comparison import experiment_e8_protocol_comparison
+from repro.harness.executors import Executor, make_executor
 from repro.harness.experiments import (
     default_experiment_params,
     experiment_e1_modified_paxos_scaling,
@@ -53,58 +55,62 @@ class CampaignResult:
         raise KeyError(experiment)
 
 
-def campaign_plan(scale: str = "full") -> Dict[str, ExperimentFn]:
+def campaign_plan(
+    scale: str = "full", executor: Optional[Executor] = None
+) -> Dict[str, ExperimentFn]:
     """The experiments to run, sized for ``scale`` ("smoke" or "full").
 
     The smoke scale exists so tests (and impatient users) can exercise the
     whole campaign path in seconds; the full scale matches the benchmark
-    suite and EXPERIMENTS.md.
+    suite and EXPERIMENTS.md.  ``executor`` is threaded into every
+    experiment, so one parallel executor accelerates the whole campaign.
     """
     params = default_experiment_params()
+    ex = executor
     if scale == "smoke":
         return {
-            "E1": lambda: experiment_e1_modified_paxos_scaling(ns=(3, 5), seeds=(1,), params=params),
-            "E2": lambda: experiment_e2_traditional_obsolete(ns=(5, 7), seeds=(1,), params=params),
+            "E1": lambda: experiment_e1_modified_paxos_scaling(ns=(3, 5), seeds=(1,), params=params, executor=ex),
+            "E2": lambda: experiment_e2_traditional_obsolete(ns=(5, 7), seeds=(1,), params=params, executor=ex),
             "E3": lambda: experiment_e3_rotating_coordinator(
-                n=7, faulty_counts=(0, 2), seeds=(1,), params=params
+                n=7, faulty_counts=(0, 2), seeds=(1,), params=params, executor=ex
             ),
-            "E4": lambda: experiment_e4_modified_bconsensus(ns=(3, 5), seeds=(1,), params=params),
+            "E4": lambda: experiment_e4_modified_bconsensus(ns=(3, 5), seeds=(1,), params=params, executor=ex),
             "E5": lambda: experiment_e5_restart_recovery(
-                n=5, offsets=(5.0, 15.0), seeds=(1,), params=params
+                n=5, offsets=(5.0, 15.0), seeds=(1,), params=params, executor=ex
             ),
             "E6": lambda: experiment_e6_epsilon_tradeoff(
-                n=5, epsilons=(0.25, 1.0), seeds=(1,), base_params=params
+                n=5, epsilons=(0.25, 1.0), seeds=(1,), base_params=params, executor=ex
             ),
-            "E7": lambda: experiment_e7_stable_case(n=5, seeds=(1,), params=params),
-            "E8": lambda: experiment_e8_protocol_comparison(ns=(5,), seeds=(1,), params=params),
+            "E7": lambda: experiment_e7_stable_case(n=5, seeds=(1,), params=params, executor=ex),
+            "E8": lambda: experiment_e8_protocol_comparison(ns=(5,), seeds=(1,), params=params, executor=ex),
             "E9": lambda: experiment_e9_smr_stable_case(
-                n=5, stable_commands=6, chaos_commands=3, params=params
+                n=5, stable_commands=6, chaos_commands=3, params=params, executor=ex
             ),
         }
     if scale == "full":
         return {
             "E1": lambda: experiment_e1_modified_paxos_scaling(
-                ns=(3, 5, 7, 9, 13, 17, 21, 25, 31), seeds=(1, 2, 3), params=params
+                ns=(3, 5, 7, 9, 13, 17, 21, 25, 31), seeds=(1, 2, 3), params=params, executor=ex
             ),
             "E2": lambda: experiment_e2_traditional_obsolete(
-                ns=(5, 9, 13, 17, 21, 25, 31), seeds=(1, 2), params=params
+                ns=(5, 9, 13, 17, 21, 25, 31), seeds=(1, 2), params=params, executor=ex
             ),
             "E3": lambda: experiment_e3_rotating_coordinator(
-                n=21, faulty_counts=(0, 2, 4, 6, 8, 10), seeds=(1, 2), params=params
+                n=21, faulty_counts=(0, 2, 4, 6, 8, 10), seeds=(1, 2), params=params, executor=ex
             ),
             "E4": lambda: experiment_e4_modified_bconsensus(
-                ns=(3, 5, 7, 9, 13, 17, 21), seeds=(1, 2), params=params
+                ns=(3, 5, 7, 9, 13, 17, 21), seeds=(1, 2), params=params, executor=ex
             ),
             "E5": lambda: experiment_e5_restart_recovery(
-                n=9, offsets=(5.0, 20.0, 40.0, 80.0), seeds=(1, 2), params=params
+                n=9, offsets=(5.0, 20.0, 40.0, 80.0), seeds=(1, 2), params=params, executor=ex
             ),
             "E6": lambda: experiment_e6_epsilon_tradeoff(
-                n=9, epsilons=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0), seeds=(1, 2), base_params=params
+                n=9, epsilons=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 4.0), seeds=(1, 2), base_params=params, executor=ex
             ),
-            "E7": lambda: experiment_e7_stable_case(n=9, seeds=(1, 2, 3), params=params),
-            "E8": lambda: experiment_e8_protocol_comparison(ns=(5, 9, 15), seeds=(1,), params=params),
+            "E7": lambda: experiment_e7_stable_case(n=9, seeds=(1, 2, 3), params=params, executor=ex),
+            "E8": lambda: experiment_e8_protocol_comparison(ns=(5, 9, 15), seeds=(1,), params=params, executor=ex),
             "E9": lambda: experiment_e9_smr_stable_case(
-                n=9, stable_commands=30, chaos_commands=10, params=params
+                n=9, stable_commands=30, chaos_commands=10, params=params, executor=ex
             ),
         }
     raise ValueError(f"unknown campaign scale {scale!r}; use 'smoke' or 'full'")
@@ -114,20 +120,34 @@ def run_campaign(
     scale: str = "full",
     experiments: Optional[List[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
 ) -> CampaignResult:
-    """Run the selected experiments and return their tables."""
-    plan = campaign_plan(scale)
+    """Run the selected experiments and return their tables.
+
+    ``executor`` wins over ``jobs``; with neither, everything runs serially
+    in this process.
+    """
+    owns_executor = executor is None
+    executor = executor if executor is not None else make_executor(jobs)
+    plan = campaign_plan(scale, executor=executor)
     selected = experiments if experiments is not None else sorted(plan)
     result = CampaignResult(scale=scale)
-    for name in selected:
-        if name not in plan:
-            raise ValueError(f"unknown experiment {name!r}; available: {sorted(plan)}")
-        if progress is not None:
-            progress(f"running {name} ({scale} scale)")
-        started = time.perf_counter()
-        table = plan[name]()
-        result.durations[name] = time.perf_counter() - started
-        result.tables.append(table)
+    try:
+        for name in selected:
+            if name not in plan:
+                raise ValueError(f"unknown experiment {name!r}; available: {sorted(plan)}")
+            if progress is not None:
+                progress(f"running {name} ({scale} scale)")
+            started = time.perf_counter()
+            table = plan[name]()
+            result.durations[name] = time.perf_counter() - started
+            result.tables.append(table)
+    finally:
+        if owns_executor:
+            close = getattr(executor, "close", None)
+            if close is not None:
+                close()
     return result
 
 
@@ -162,6 +182,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="Run the reproduction experiment campaign")
     parser.add_argument("--scale", choices=("smoke", "full"), default="full")
     parser.add_argument("--out", default="results")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the experiment runs (1 = serial)")
     parser.add_argument(
         "--experiment",
         action="append",
@@ -169,7 +191,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="run only the given experiment id (may be repeated), e.g. --experiment E1",
     )
     args = parser.parse_args(argv)
-    result = run_campaign(scale=args.scale, experiments=args.experiments, progress=print)
+    result = run_campaign(
+        scale=args.scale, experiments=args.experiments, progress=print, jobs=args.jobs
+    )
     report = write_report(result, args.out)
     print(f"wrote {report}")
     return 0

@@ -8,6 +8,10 @@ Two views are combined:
   high ballots for traditional Paxos, crashed coordinators for the rotating
   coordinator), which is where the ``O(Nδ)`` behaviour actually shows.
 
+The whole grid is declared as three :class:`ExperimentSpec`\\ s and executed
+as one task batch, so a parallel executor can schedule every (protocol,
+workload, n, seed) run across its workers at once.
+
 The expected shape: the two modified algorithms stay flat as ``N`` grows
 while the baselines' adversarial columns grow roughly linearly.
 """
@@ -17,13 +21,11 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from repro.core.timing import decision_bound
-from repro.harness.runner import run_scenario
-from repro.harness.tables import ExperimentTable
+from repro.harness.executors import Executor
+from repro.harness.experiment import ExperimentSpec, lag_delta, run_experiment
 from repro.harness.experiments import default_experiment_params
+from repro.harness.tables import ExperimentTable
 from repro.params import TimingParams
-from repro.workloads.chaos import partitioned_chaos_scenario
-from repro.workloads.coordinator_faults import coordinator_crash_scenario
-from repro.workloads.obsolete import obsolete_ballot_scenario
 
 __all__ = ["experiment_e8_protocol_comparison"]
 
@@ -35,22 +37,41 @@ _CHAOS_PROTOCOLS = (
 )
 
 
-def _max_lag_in_delta(run) -> Optional[float]:
-    lag = run.max_lag_after_ts()
-    if lag is None:
-        return None
-    return lag / run.scenario.config.params.delta
-
-
 def experiment_e8_protocol_comparison(
     ns: Sequence[int] = (5, 9, 15),
     seeds: Iterable[int] = (1,),
     params: Optional[TimingParams] = None,
     ts_factor: float = 8.0,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """Regenerate the protocol-comparison table."""
     params = params if params is not None else default_experiment_params()
     bound = decision_bound(params) / params.delta
+
+    chaos = ExperimentSpec(
+        workload="partitioned-chaos",
+        protocols=_CHAOS_PROTOCOLS,
+        seeds=tuple(seeds),
+        base={"params": params, "ts": ts_factor * params.delta},
+        grid={"n": tuple(ns)},
+        tags={"case": "chaos"},
+    )
+    adversarial = [
+        ExperimentSpec(
+            workload=workload,
+            protocols=(protocol,),
+            seeds=tuple(seeds),
+            base={"params": params},
+            grid={"n": tuple(ns)},
+            tags={"case": "adversarial"},
+        )
+        for protocol, workload in (
+            ("traditional-paxos", "obsolete-ballots"),
+            ("rotating-coordinator", "coordinator-crash"),
+        )
+    ]
+    results = run_experiment([chaos, *adversarial], executor=executor)
+
     table = ExperimentTable(
         experiment="E8",
         title="Protocol comparison: worst post-TS decision lag (delta units)",
@@ -61,43 +82,15 @@ def experiment_e8_protocol_comparison(
             f"coordinators for the rotating coordinator); Modified Paxos bound = {bound:.1f} delta"
         ),
     )
-
     for protocol in _CHAOS_PROTOCOLS:
         for n in ns:
-            chaos_lags = []
-            undecided = 0
-            for seed in seeds:
-                scenario = partitioned_chaos_scenario(
-                    n, params=params, ts=ts_factor * params.delta, seed=seed
-                )
-                run = run_scenario(scenario, protocol)
-                lag = _max_lag_in_delta(run)
-                if lag is None:
-                    undecided += 1
-                else:
-                    chaos_lags.append(lag)
-
-            adversarial_lags = []
-            if protocol == "traditional-paxos":
-                for seed in seeds:
-                    scenario = obsolete_ballot_scenario(n, params=params, seed=seed)
-                    run = run_scenario(scenario, protocol)
-                    lag = _max_lag_in_delta(run)
-                    if lag is not None:
-                        adversarial_lags.append(lag)
-            elif protocol == "rotating-coordinator":
-                for seed in seeds:
-                    scenario = coordinator_crash_scenario(n, params=params, seed=seed)
-                    run = run_scenario(scenario, protocol)
-                    lag = _max_lag_in_delta(run)
-                    if lag is not None:
-                        adversarial_lags.append(lag)
-
+            chaos_runs = results.filter(case="chaos", protocol=protocol, n=n)
+            adversarial_runs = results.filter(case="adversarial", protocol=protocol, n=n)
             table.add_row(
                 protocol=protocol,
                 n=n,
-                chaos_lag_delta=max(chaos_lags) if chaos_lags else None,
-                adversarial_lag_delta=max(adversarial_lags) if adversarial_lags else None,
-                undecided=undecided,
+                chaos_lag_delta=chaos_runs.max(lag_delta),
+                adversarial_lag_delta=adversarial_runs.max(lag_delta),
+                undecided=len(chaos_runs) - len(chaos_runs.values(lag_delta)),
             )
     return table

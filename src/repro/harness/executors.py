@@ -1,0 +1,268 @@
+"""Pluggable executors: run batches of declarative run tasks, possibly in parallel.
+
+The unit of work is a :class:`RunTask` — a fully declarative description of
+one run: a workload *name* (resolved through the
+:class:`~repro.workloads.registry.ScenarioRegistry`), its keyword arguments,
+a protocol *name* (resolved through the
+:class:`~repro.consensus.registry.ProtocolRegistry`), and the run flags.
+Because a task is plain picklable data, the same task can be executed
+in-process by :class:`SerialExecutor` or shipped to a worker process by
+:class:`ParallelExecutor`; what comes back in either case is a
+:class:`~repro.consensus.values.RunOutcome` (plus a few aggregation extras),
+never a :class:`~repro.sim.simulator.Simulator`.  Simulations are seeded and
+deterministic, so serial and parallel execution of the same tasks produce
+identical outcomes.
+
+:func:`run_scenario` remains the single-run primitive: executors call it,
+they do not replace it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+from repro.consensus.base import ProtocolBuilder
+from repro.consensus.registry import ProtocolRegistry
+from repro.consensus.values import RunOutcome
+from repro.errors import ExperimentError
+from repro.harness.runner import RunResult, run_scenario
+from repro.workloads.registry import ScenarioRegistry, default_workload_registry
+from repro.workloads.scenario import Scenario
+
+__all__ = [
+    "Executor",
+    "ParallelExecutor",
+    "RunTask",
+    "SerialExecutor",
+    "execute_task",
+    "execute_task_result",
+    "make_executor",
+    "snapshot_outcome",
+]
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One declarative (workload, protocol, seed) run.
+
+    ``workload_kwargs`` must include everything the workload factory needs
+    (``n``, ``seed``, ``params``, ...) and must be picklable so the task can
+    cross a process boundary.  ``tags`` carry grid-point labels (protocol,
+    seed, swept parameters); they are not interpreted by the executor, only
+    echoed back alongside the outcome by the experiment layer.
+    """
+
+    protocol: str
+    workload: str
+    workload_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    protocol_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    tags: Mapping[str, Any] = field(default_factory=dict)
+    enforce_safety: bool = True
+    enforce_invariants: bool = True
+    run_until_decided: bool = True
+
+    def describe(self) -> str:
+        labels = " ".join(f"{key}={value!r}" for key, value in sorted(self.tags.items()))
+        return f"{self.protocol} on {self.workload}" + (f" [{labels}]" if labels else "")
+
+
+def build_task_scenario(
+    task: RunTask, registry: Optional[ScenarioRegistry] = None
+) -> Scenario:
+    """Materialize the task's scenario through the workload registry."""
+    registry = registry if registry is not None else default_workload_registry()
+    return registry.create(task.workload, **dict(task.workload_kwargs))
+
+
+def snapshot_outcome(result: RunResult) -> RunOutcome:
+    """Condense a :class:`RunResult` into a process-boundary-safe outcome.
+
+    On top of :meth:`RunResult.outcome` this records the aggregation inputs
+    the experiment tables need (and that would otherwise require the
+    simulator): the expected-decider decision lag, restart recovery lags and
+    restart order, and the post-``TS`` send rate.
+    """
+    outcome = result.outcome()
+    outcome.extra["max_lag_after_ts"] = result.max_lag_after_ts()
+    outcome.extra["safety_valid"] = result.safety.valid
+
+    # One trace scan to find restarts; the per-pid lag scans only run when a
+    # restart actually happened (most workloads have none).
+    restart_events = sorted(
+        (event.time, event.pid)
+        for event in result.simulator.trace.filter(event="restart", category="node")
+    )
+    outcome.extra["restart_events"] = restart_events
+    if restart_events:
+        from repro.analysis.metrics import restart_recovery_lags
+
+        outcome.extra["restart_lags"] = restart_recovery_lags(result.simulator)
+    else:
+        outcome.extra["restart_lags"] = {}
+
+    config = result.simulator.config
+    window_start, window_end = config.ts, result.simulator.now()
+    monitor = result.simulator.network.monitor
+    outcome.extra["post_ts_send_rate"] = (
+        monitor.send_rate(window_start, window_end) if window_end > window_start else None
+    )
+    return outcome
+
+
+def execute_task_result(
+    task: RunTask,
+    *,
+    workload_registry: Optional[ScenarioRegistry] = None,
+    protocol_registry: Optional[ProtocolRegistry] = None,
+) -> RunResult:
+    """Execute one task in-process and keep the full result (simulator included)."""
+    scenario = build_task_scenario(task, registry=workload_registry)
+    return run_scenario(
+        scenario,
+        task.protocol,
+        registry=protocol_registry,
+        protocol_kwargs=dict(task.protocol_kwargs) or None,
+        enforce_safety=task.enforce_safety,
+        enforce_invariants=task.enforce_invariants,
+        run_until_decided=task.run_until_decided,
+    )
+
+
+def execute_task(task: RunTask) -> RunOutcome:
+    """Execute one task and return its condensed outcome.
+
+    This is the function worker processes run; it must stay module-level so
+    it pickles under every multiprocessing start method.
+    """
+    return snapshot_outcome(execute_task_result(task))
+
+
+class Executor:
+    """Strategy for executing a batch of :class:`RunTask`\\ s."""
+
+    name = "abstract"
+
+    def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
+        """Execute every task and return outcomes in task order."""
+        raise NotImplementedError
+
+    def run(self, task: RunTask) -> RunOutcome:
+        return self.map([task])[0]
+
+    def run_result(
+        self,
+        scenario: Scenario,
+        protocol: Union[str, ProtocolBuilder],
+        *,
+        protocol_kwargs: Optional[Mapping[str, Any]] = None,
+        enforce_safety: bool = True,
+    ) -> RunResult:
+        """Run one concrete scenario and return the *full* result.
+
+        Only in-process executors can do this — a full result holds the
+        simulator, which never crosses a process boundary.
+        """
+        raise ExperimentError(
+            f"the {self.name!r} executor exchanges RunOutcomes, not full RunResults; "
+            "use SerialExecutor, or declarative RunTasks via ExperimentSpec/run_experiment"
+        )
+
+    def describe(self) -> str:
+        return self.name
+
+
+class SerialExecutor(Executor):
+    """Run every task in the calling process, one after another."""
+
+    name = "serial"
+
+    def __init__(
+        self,
+        workload_registry: Optional[ScenarioRegistry] = None,
+        protocol_registry: Optional[ProtocolRegistry] = None,
+    ) -> None:
+        self.workload_registry = workload_registry
+        self.protocol_registry = protocol_registry
+
+    def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
+        return [snapshot_outcome(self.map_result(task)) for task in tasks]
+
+    def map_result(self, task: RunTask) -> RunResult:
+        return execute_task_result(
+            task,
+            workload_registry=self.workload_registry,
+            protocol_registry=self.protocol_registry,
+        )
+
+    def run_result(
+        self,
+        scenario: Scenario,
+        protocol: Union[str, ProtocolBuilder],
+        *,
+        protocol_kwargs: Optional[Mapping[str, Any]] = None,
+        enforce_safety: bool = True,
+    ) -> RunResult:
+        return run_scenario(
+            scenario,
+            protocol,
+            registry=self.protocol_registry,
+            protocol_kwargs=dict(protocol_kwargs) if protocol_kwargs else None,
+            enforce_safety=enforce_safety,
+        )
+
+
+class ParallelExecutor(Executor):
+    """Fan tasks out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Workers receive picklable :class:`RunTask`\\ s and ship back
+    :class:`RunOutcome`\\ s; the simulators live and die inside the workers.
+    Small batches (or ``jobs=1``) fall back to in-process execution so the
+    pool spin-up cost is only paid when it can be amortized.
+    """
+
+    name = "parallel"
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ExperimentError(f"ParallelExecutor needs jobs >= 1, got {self.jobs}")
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        # The pool is created on first use and reused across map() calls, so
+        # an executor threaded through a whole campaign pays spin-up once.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
+        tasks = list(tasks)
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return [execute_task(task) for task in tasks]
+        chunksize = max(1, len(tasks) // (4 * self.jobs))
+        return list(self._ensure_pool().map(execute_task, tasks, chunksize=chunksize))
+
+    def close(self) -> None:
+        """Shut the worker pool down (the executor stays reusable)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        return f"parallel(jobs={self.jobs})"
+
+
+def make_executor(jobs: Optional[int] = None) -> Executor:
+    """``jobs`` ≤ 1 (or None) → :class:`SerialExecutor`; otherwise a parallel one."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

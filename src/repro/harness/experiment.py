@@ -1,0 +1,266 @@
+"""The unified Experiment API: declarative grids in, queryable result sets out.
+
+An :class:`ExperimentSpec` declares a full experiment — protocols ×
+workload-parameter grid × seeds over one registry workload — and expands it
+into the declarative :class:`~repro.harness.executors.RunTask` list an
+:class:`~repro.harness.executors.Executor` can run serially or across
+processes.  :func:`run_experiment` pairs every task with its outcome in a
+:class:`ResultSet`, which supports tag filtering, grouping, and
+summary-stat aggregation and renders straight into an
+:class:`~repro.harness.tables.ExperimentTable`.
+
+Typical use::
+
+    spec = ExperimentSpec(
+        workload="partitioned-chaos",
+        protocols=("modified-paxos",),
+        seeds=(1, 2, 3),
+        base={"params": params, "ts": 10.0},
+        grid={"n": (3, 5, 7, 9)},
+    )
+    results = run_experiment(spec, jobs=4)
+    for (n,), subset in results.group_by("n").items():
+        print(n, subset.max(lag_delta))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.analysis.stats import Summary, summarize
+from repro.consensus.values import RunOutcome
+from repro.errors import ExperimentError
+from repro.harness.executors import Executor, RunTask, make_executor
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultRow",
+    "ResultSet",
+    "lag_delta",
+    "run_experiment",
+    "undecided",
+]
+
+GridPoint = Dict[str, Any]
+Binder = Callable[[GridPoint], Mapping[str, Any]]
+Metric = Callable[["ResultRow"], Optional[float]]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Protocols × parameter grid × seeds over one registry workload.
+
+    Attributes:
+        workload: Workload name resolved through the scenario registry.
+        protocols: Protocol names resolved through the protocol registry.
+        seeds: RNG seeds; every grid point runs once per seed.
+        base: Fixed workload keyword arguments shared by every task.
+        grid: Swept parameters; the cartesian product (in declaration
+            order) defines the grid points.  Grid keys become tags on every
+            task and, unless ``bind`` remaps them, workload kwargs too.
+        bind: Optional mapping from a grid point to workload kwargs, for
+            swept values that are not literal factory parameters (e.g. an
+            epsilon that must be folded into ``TimingParams``).  Runs in the
+            parent process, so it may close over anything.
+        protocol_kwargs: Extra keyword arguments for the protocol builder.
+        tags: Constant tags stamped on every task (e.g. ``case="chaos"``).
+        enforce_safety / enforce_invariants / run_until_decided: Run flags,
+            passed through to :func:`~repro.harness.runner.run_scenario`.
+    """
+
+    workload: str
+    protocols: Sequence[str]
+    seeds: Sequence[int] = (0,)
+    base: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    bind: Optional[Binder] = None
+    protocol_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    tags: Mapping[str, Any] = field(default_factory=dict)
+    enforce_safety: bool = True
+    enforce_invariants: bool = True
+    run_until_decided: bool = True
+
+    def points(self) -> List[GridPoint]:
+        """The cartesian product of the grid, in declaration order."""
+        if not self.grid:
+            return [{}]
+        keys = list(self.grid)
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.grid[key] for key in keys))
+        ]
+
+    def tasks(self) -> List[RunTask]:
+        """Expand into one task per (protocol, grid point, seed)."""
+        if not self.protocols:
+            raise ExperimentError("ExperimentSpec needs at least one protocol")
+        if not self.seeds:
+            raise ExperimentError("ExperimentSpec needs at least one seed")
+        tasks: List[RunTask] = []
+        for protocol in self.protocols:
+            for point in self.points():
+                bound = dict(self.bind(point)) if self.bind is not None else dict(point)
+                for seed in self.seeds:
+                    kwargs = {**self.base, **bound, "seed": seed}
+                    tasks.append(
+                        RunTask(
+                            protocol=protocol,
+                            workload=self.workload,
+                            workload_kwargs=kwargs,
+                            protocol_kwargs=dict(self.protocol_kwargs),
+                            tags={**self.tags, **point, "protocol": protocol, "seed": seed},
+                            enforce_safety=self.enforce_safety,
+                            enforce_invariants=self.enforce_invariants,
+                            run_until_decided=self.run_until_decided,
+                        )
+                    )
+        return tasks
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One executed task paired with its outcome."""
+
+    task: RunTask
+    outcome: RunOutcome
+
+    @property
+    def tags(self) -> Mapping[str, Any]:
+        return self.task.tags
+
+    def tag(self, key: str) -> Any:
+        if key not in self.task.tags:
+            raise ExperimentError(
+                f"row has no tag {key!r}; available: {', '.join(sorted(self.task.tags))}"
+            )
+        return self.task.tags[key]
+
+
+def lag_delta(row: ResultRow) -> Optional[float]:
+    """Worst expected-decider decision lag after ``TS``, in delta units."""
+    lag = row.outcome.extra.get("max_lag_after_ts")
+    if lag is None:
+        return None
+    return lag / row.outcome.delta
+
+
+def undecided(row: ResultRow) -> Optional[float]:
+    """1.0 if some expected decider never decided, else 0.0 (summable)."""
+    return 0.0 if row.outcome.all_decided else 1.0
+
+
+class ResultSet:
+    """An ordered collection of result rows with tag-based queries."""
+
+    def __init__(self, rows: Iterable[ResultRow] = ()) -> None:
+        self.rows: List[ResultRow] = list(rows)
+
+    # -- collection protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __add__(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet(self.rows + other.rows)
+
+    # -- querying -----------------------------------------------------------
+    def filter(
+        self, predicate: Optional[Callable[[ResultRow], bool]] = None, **tags: Any
+    ) -> "ResultSet":
+        """Rows matching every given tag (and the predicate, if any)."""
+
+        def matches(row: ResultRow) -> bool:
+            if any(row.tags.get(key) != value for key, value in tags.items()):
+                return False
+            return predicate(row) if predicate is not None else True
+
+        return ResultSet(row for row in self.rows if matches(row))
+
+    def tag_values(self, key: str) -> List[Any]:
+        """Distinct values of one tag, in first-seen order."""
+        seen: List[Any] = []
+        for row in self.rows:
+            value = row.tags.get(key)
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+    def group_by(self, *keys: str) -> Dict[Tuple[Any, ...], "ResultSet"]:
+        """Partition by tag values; groups keep first-seen order."""
+        if not keys:
+            raise ExperimentError("group_by needs at least one tag key")
+        groups: Dict[Tuple[Any, ...], ResultSet] = {}
+        for row in self.rows:
+            group_key = tuple(row.tags.get(key) for key in keys)
+            groups.setdefault(group_key, ResultSet()).rows.append(row)
+        return groups
+
+    # -- aggregation ----------------------------------------------------------
+    def values(self, metric: Metric) -> List[float]:
+        """The metric over every row, Nones dropped."""
+        computed = (metric(row) for row in self.rows)
+        return [value for value in computed if value is not None]
+
+    def mean(self, metric: Metric) -> Optional[float]:
+        values = self.values(metric)
+        return summarize(values).mean if values else None
+
+    def max(self, metric: Metric) -> Optional[float]:
+        values = self.values(metric)
+        return max(values) if values else None
+
+    def min(self, metric: Metric) -> Optional[float]:
+        values = self.values(metric)
+        return min(values) if values else None
+
+    def total(self, metric: Metric) -> float:
+        return sum(self.values(metric))
+
+    def summary(self, metric: Metric) -> Optional[Summary]:
+        """Full descriptive statistics of the metric (None when empty)."""
+        values = self.values(metric)
+        return summarize(values) if values else None
+
+    def undecided_count(self) -> int:
+        return sum(1 for row in self.rows if not row.outcome.all_decided)
+
+
+def run_experiment(
+    spec: Union[ExperimentSpec, Sequence[ExperimentSpec]],
+    *,
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
+) -> ResultSet:
+    """Expand the spec(s) into tasks, execute them, and pair up the results.
+
+    ``executor`` wins over ``jobs``; with neither, execution is serial.
+    Passing several specs runs their concatenated task lists in one batch,
+    so a parallel executor can schedule across all of them.
+    """
+    if executor is not None and jobs is not None:
+        raise ExperimentError("pass either executor or jobs, not both")
+    executor = executor if executor is not None else make_executor(jobs)
+    specs = [spec] if isinstance(spec, ExperimentSpec) else list(spec)
+    tasks: List[RunTask] = []
+    for one in specs:
+        tasks.extend(one.tasks())
+    outcomes = executor.map(tasks)
+    return ResultSet(ResultRow(task=task, outcome=outcome) for task, outcome in zip(tasks, outcomes))

@@ -1,11 +1,16 @@
-"""Experiment definitions E1–E7.
+"""Experiment definitions E1–E7 (plus E9).
 
 The paper contains no numbered tables or figures — its evaluation is the
 timing analysis of Sections 2–5.  Each function here regenerates one of the
-analysis' claims as a measured table (see DESIGN.md for the index), using
-the workloads in :mod:`repro.workloads` and the protocols in
-:mod:`repro.core` / :mod:`repro.consensus`.  The protocol-comparison table
-(E8) lives in :mod:`repro.harness.comparison`.
+analysis' claims as a measured table (see DESIGN.md for the index), by
+declaring an :class:`~repro.harness.experiment.ExperimentSpec` over the
+workloads in :mod:`repro.workloads` (resolved by registry name) and the
+protocols in :mod:`repro.core` / :mod:`repro.consensus`, executing it
+through an :class:`~repro.harness.executors.Executor` (pass ``executor=``
+to fan runs out across processes), and aggregating the resulting
+:class:`~repro.harness.experiment.ResultSet` into an
+:class:`~repro.harness.tables.ExperimentTable`.  The protocol-comparison
+table (E8) lives in :mod:`repro.harness.comparison`.
 
 All functions take size knobs (process counts, seeds) so tests can run tiny
 instances and benchmarks the full ones.
@@ -15,7 +20,6 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.analysis.metrics import restart_recovery_lags
 from repro.core.timing import (
     decision_bound,
     restart_decision_bound,
@@ -23,15 +27,10 @@ from repro.core.timing import (
     traditional_paxos_worst_case,
 )
 from repro.errors import ExperimentError
-from repro.harness.runner import run_scenario
-from repro.harness.sweep import sweep
+from repro.harness.executors import Executor
+from repro.harness.experiment import ExperimentSpec, lag_delta, run_experiment
 from repro.harness.tables import ExperimentTable
 from repro.params import TimingParams
-from repro.workloads.chaos import partitioned_chaos_scenario
-from repro.workloads.coordinator_faults import coordinator_crash_scenario
-from repro.workloads.obsolete import obsolete_ballot_scenario
-from repro.workloads.restarts import restart_after_stability_scenario
-from repro.workloads.stable import stable_scenario
 
 __all__ = [
     "default_experiment_params",
@@ -51,53 +50,42 @@ def default_experiment_params(epsilon: float = 0.5) -> TimingParams:
     return TimingParams(delta=1.0, rho=0.01, epsilon=epsilon)
 
 
-def _lag_in_delta(result) -> Optional[float]:
-    lag = result.max_lag_after_ts()
-    if lag is None:
-        return None
-    return lag / result.scenario.config.params.delta
-
-
 # --------------------------------------------------------------------------- E1
 def experiment_e1_modified_paxos_scaling(
     ns: Sequence[int] = (3, 5, 7, 9, 13, 17, 21, 25),
     seeds: Iterable[int] = (1, 2),
     params: Optional[TimingParams] = None,
     ts_factor: float = 10.0,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C1: Modified Paxos decides within the analytic bound, independently of N."""
     params = params if params is not None else default_experiment_params()
     bound = decision_bound(params) / params.delta
-    table = ExperimentTable(
+    spec = ExperimentSpec(
+        workload="partitioned-chaos",
+        protocols=("modified-paxos",),
+        seeds=tuple(seeds),
+        base={"params": params, "ts": ts_factor * params.delta},
+        grid={"n": tuple(ns)},
+    )
+    results = run_experiment(spec, executor=executor)
+    return ExperimentTable.from_result_set(
+        results,
         experiment="E1",
         title="Modified Paxos: decision lag after TS vs. N (partitioned chaos before TS)",
-        headers=["n", "runs", "mean_lag_delta", "max_lag_delta", "bound_delta", "undecided"],
+        group=("n",),
+        columns={
+            "runs": len,
+            "mean_lag_delta": lambda subset: subset.mean(lag_delta),
+            "max_lag_delta": lambda subset: subset.max(lag_delta),
+            "bound_delta": lambda subset: bound,
+            "undecided": lambda subset: subset.undecided_count(),
+        },
         notes=(
             f"paper bound = eps + 3*tau + 5*delta = {bound:.1f} delta; the lag column should "
             "stay flat in N and below the bound"
         ),
     )
-    result = sweep(
-        parameter="n",
-        values=list(ns),
-        scenario_factory=lambda n, seed: partitioned_chaos_scenario(
-            n, params=params, ts=ts_factor * params.delta, seed=seed
-        ),
-        protocol="modified-paxos",
-        seeds=seeds,
-    )
-    for point in result.points:
-        lags = point.metric_values(_lag_in_delta)
-        undecided = sum(1 for run in point.results if not run.decided_all)
-        table.add_row(
-            n=point.value,
-            runs=len(point.results),
-            mean_lag_delta=(sum(lags) / len(lags)) if lags else None,
-            max_lag_delta=max(lags) if lags else None,
-            bound_delta=bound,
-            undecided=undecided,
-        )
-    return table
 
 
 # --------------------------------------------------------------------------- E2
@@ -105,37 +93,44 @@ def experiment_e2_traditional_obsolete(
     ns: Sequence[int] = (5, 9, 13, 17, 21, 25),
     seeds: Iterable[int] = (1,),
     params: Optional[TimingParams] = None,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C2: traditional Paxos needs O(Nδ) when obsolete high ballots surface after TS."""
     params = params if params is not None else default_experiment_params()
-    table = ExperimentTable(
+    modified_bound = decision_bound(params) / params.delta
+
+    def obsolete_k(n: int) -> int:
+        # One obsolete ballot per crashed process: ceil(N/2) - 1 == n - majority.
+        return n - (n // 2 + 1)
+
+    spec = ExperimentSpec(
+        workload="obsolete-ballots",
+        protocols=("traditional-paxos",),
+        seeds=tuple(seeds),
+        base={"params": params},
+        grid={"n": tuple(ns)},
+        bind=lambda point: {"n": point["n"], "num_obsolete": obsolete_k(point["n"])},
+    )
+    results = run_experiment(spec, executor=executor)
+    return ExperimentTable.from_result_set(
+        results,
         experiment="E2",
         title="Traditional Paxos: decision lag after TS vs. N under obsolete high ballots",
-        headers=["n", "obsolete_k", "max_lag_delta", "model_delta", "modified_bound_delta"],
+        group=("n",),
+        columns={
+            "obsolete_k": lambda subset: obsolete_k(subset.rows[0].tag("n")),
+            "max_lag_delta": lambda subset: subset.max(lag_delta),
+            "model_delta": lambda subset: traditional_paxos_worst_case(
+                params, obsolete_k(subset.rows[0].tag("n"))
+            )
+            / params.delta,
+            "modified_bound_delta": lambda subset: modified_bound,
+        },
         notes=(
             "obsolete_k = ceil(N/2) - 1 obsolete ballots released one per ballot attempt; "
             "model = (2k + 4) delta; contrast with the flat Modified Paxos bound"
         ),
     )
-    modified_bound = decision_bound(params) / params.delta
-    for n in ns:
-        k = n // 2 + 1
-        k = n - k  # one obsolete ballot per crashed process: ceil(N/2) - 1 == n - majority
-        lags = []
-        for seed in seeds:
-            scenario = obsolete_ballot_scenario(n, params=params, seed=seed, num_obsolete=k)
-            run = run_scenario(scenario, "traditional-paxos")
-            lag = _lag_in_delta(run)
-            if lag is not None:
-                lags.append(lag)
-        table.add_row(
-            n=n,
-            obsolete_k=k,
-            max_lag_delta=max(lags) if lags else None,
-            model_delta=traditional_paxos_worst_case(params, k) / params.delta,
-            modified_bound_delta=modified_bound,
-        )
-    return table
 
 
 # --------------------------------------------------------------------------- E3
@@ -144,6 +139,7 @@ def experiment_e3_rotating_coordinator(
     faulty_counts: Optional[Sequence[int]] = None,
     seeds: Iterable[int] = (1,),
     params: Optional[TimingParams] = None,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C3: the rotating-coordinator baseline pays one round timeout per dead coordinator."""
     params = params if params is not None else default_experiment_params()
@@ -153,31 +149,35 @@ def experiment_e3_rotating_coordinator(
         faulty_counts = list(range(0, max_faulty + 1, step))
         if faulty_counts[-1] != max_faulty:
             faulty_counts.append(max_faulty)
-    table = ExperimentTable(
-        experiment="E3",
-        title=f"Rotating coordinator (n={n}): decision lag after TS vs. crashed coordinators",
-        headers=["n", "faulty_f", "max_lag_delta", "model_delta", "modified_bound_delta"],
-        notes="model = (4f + 4) delta (one 4-delta round timeout per crashed coordinator)",
-    )
-    modified_bound = decision_bound(params) / params.delta
     for f in faulty_counts:
         if f > max_faulty:
             raise ExperimentError(f"cannot crash {f} coordinators with n={n}")
-        lags = []
-        for seed in seeds:
-            scenario = coordinator_crash_scenario(n, params=params, seed=seed, num_faulty=f)
-            run = run_scenario(scenario, "rotating-coordinator")
-            lag = _lag_in_delta(run)
-            if lag is not None:
-                lags.append(lag)
-        table.add_row(
-            n=n,
-            faulty_f=f,
-            max_lag_delta=max(lags) if lags else None,
-            model_delta=rotating_coordinator_worst_case(params, f) / params.delta,
-            modified_bound_delta=modified_bound,
-        )
-    return table
+    modified_bound = decision_bound(params) / params.delta
+    spec = ExperimentSpec(
+        workload="coordinator-crash",
+        protocols=("rotating-coordinator",),
+        seeds=tuple(seeds),
+        base={"n": n, "params": params},
+        grid={"faulty_f": tuple(faulty_counts)},
+        bind=lambda point: {"num_faulty": point["faulty_f"]},
+        tags={"n": n},
+    )
+    results = run_experiment(spec, executor=executor)
+    return ExperimentTable.from_result_set(
+        results,
+        experiment="E3",
+        title=f"Rotating coordinator (n={n}): decision lag after TS vs. crashed coordinators",
+        group=("n", "faulty_f"),
+        columns={
+            "max_lag_delta": lambda subset: subset.max(lag_delta),
+            "model_delta": lambda subset: rotating_coordinator_worst_case(
+                params, subset.rows[0].tag("faulty_f")
+            )
+            / params.delta,
+            "modified_bound_delta": lambda subset: modified_bound,
+        },
+        notes="model = (4f + 4) delta (one 4-delta round timeout per crashed coordinator)",
+    )
 
 
 # --------------------------------------------------------------------------- E4
@@ -186,38 +186,34 @@ def experiment_e4_modified_bconsensus(
     seeds: Iterable[int] = (1, 2),
     params: Optional[TimingParams] = None,
     ts_factor: float = 10.0,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C5: Modified B-Consensus also decides within O(δ) of TS, independently of N."""
     params = params if params is not None else default_experiment_params()
-    table = ExperimentTable(
+    spec = ExperimentSpec(
+        workload="partitioned-chaos",
+        protocols=("modified-b-consensus",),
+        seeds=tuple(seeds),
+        base={"params": params, "ts": ts_factor * params.delta},
+        grid={"n": tuple(ns)},
+    )
+    results = run_experiment(spec, executor=executor)
+    return ExperimentTable.from_result_set(
+        results,
         experiment="E4",
         title="Modified B-Consensus: decision lag after TS vs. N (partitioned chaos before TS)",
-        headers=["n", "runs", "mean_lag_delta", "max_lag_delta", "undecided"],
+        group=("n",),
+        columns={
+            "runs": len,
+            "mean_lag_delta": lambda subset: subset.mean(lag_delta),
+            "max_lag_delta": lambda subset: subset.max(lag_delta),
+            "undecided": lambda subset: subset.undecided_count(),
+        },
         notes=(
             "the paper gives no closed-form bound for this variant, only that the maximum "
             "delay is about the same as Modified Paxos; the lag should stay flat in N"
         ),
     )
-    result = sweep(
-        parameter="n",
-        values=list(ns),
-        scenario_factory=lambda n, seed: partitioned_chaos_scenario(
-            n, params=params, ts=ts_factor * params.delta, seed=seed
-        ),
-        protocol="modified-b-consensus",
-        seeds=seeds,
-    )
-    for point in result.points:
-        lags = point.metric_values(_lag_in_delta)
-        undecided = sum(1 for run in point.results if not run.decided_all)
-        table.add_row(
-            n=point.value,
-            runs=len(point.results),
-            mean_lag_delta=(sum(lags) / len(lags)) if lags else None,
-            max_lag_delta=max(lags) if lags else None,
-            undecided=undecided,
-        )
-    return table
 
 
 # --------------------------------------------------------------------------- E5
@@ -227,6 +223,7 @@ def experiment_e5_restart_recovery(
     seeds: Iterable[int] = (1, 2),
     params: Optional[TimingParams] = None,
     protocol: str = "modified-paxos",
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C4: a process restarting after TS decides within O(δ) of its restart."""
     params = params if params is not None else default_experiment_params()
@@ -238,16 +235,18 @@ def experiment_e5_restart_recovery(
                  "bound_delta"],
         notes=f"bound = tau + 5*delta = {bound:.1f} delta once the post-TS session cadence runs",
     )
+    spec = ExperimentSpec(
+        workload="restarts",
+        protocols=(protocol,),
+        seeds=tuple(seeds),
+        base={"n": n, "params": params, "restart_offsets": list(offsets)},
+    )
+    results = run_experiment(spec, executor=executor)
     per_offset: dict[float, list[float]] = {offset: [] for offset in offsets}
-    for seed in seeds:
-        scenario = restart_after_stability_scenario(
-            n, params=params, seed=seed, restart_offsets=list(offsets)
-        )
-        run = run_scenario(scenario, protocol)
-        lags = restart_recovery_lags(run.simulator)
-        victims = sorted(run.simulator.trace.filter(event="restart"), key=lambda e: e.time)
+    for row in results:
+        lags = row.outcome.extra["restart_lags"]
         # Victims restart in offset order (the scenario schedules them that way).
-        restarted_pids = [event.pid for event in victims]
+        restarted_pids = [pid for _, pid in row.outcome.extra["restart_events"]]
         for offset, pid in zip(offsets, restarted_pids):
             if pid in lags:
                 per_offset[offset].append(lags[pid] / params.delta)
@@ -270,52 +269,54 @@ def experiment_e6_epsilon_tradeoff(
     seeds: Iterable[int] = (1, 2),
     base_params: Optional[TimingParams] = None,
     ts_factor: float = 8.0,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C6: the ε keep-alive trades steady-state message rate against recovery latency."""
     base_params = base_params if base_params is not None else default_experiment_params()
-    table = ExperimentTable(
+
+    def params_for(epsilon: float) -> TimingParams:
+        return base_params.with_epsilon(epsilon * base_params.delta)
+
+    spec = ExperimentSpec(
+        workload="partitioned-chaos",
+        protocols=("modified-paxos",),
+        seeds=tuple(seeds),
+        base={"n": n, "ts": ts_factor * base_params.delta},
+        grid={"epsilon_delta": tuple(epsilons)},
+        bind=lambda point: {"params": params_for(point["epsilon_delta"])},
+    )
+    results = run_experiment(spec, executor=executor)
+
+    def rate_per_proc_per_delta(row) -> Optional[float]:
+        rate = row.outcome.extra.get("post_ts_send_rate")
+        if rate is None:
+            return None
+        return rate / n * base_params.delta
+
+    return ExperimentTable.from_result_set(
+        results,
         experiment="E6",
         title=f"Modified Paxos (n={n}): keep-alive interval vs. messages and decision lag",
-        headers=[
-            "epsilon_delta",
-            "max_lag_delta",
-            "bound_delta",
-            "post_ts_msgs_per_proc_per_delta",
-            "total_messages",
-        ],
+        group=("epsilon_delta",),
+        columns={
+            "max_lag_delta": lambda subset: subset.max(lag_delta),
+            "bound_delta": lambda subset: decision_bound(
+                params_for(subset.rows[0].tag("epsilon_delta"))
+            )
+            / base_params.delta,
+            "post_ts_msgs_per_proc_per_delta": lambda subset: subset.mean(
+                rate_per_proc_per_delta
+            ),
+            "total_messages": lambda subset: subset.total(
+                lambda row: row.outcome.messages_sent
+            )
+            // max(1, len(subset)),
+        },
         notes=(
             "larger epsilon -> fewer keep-alive messages but a larger bound (tau grows once "
             "2*delta + eps exceeds sigma) and typically a larger measured lag"
         ),
     )
-    for epsilon in epsilons:
-        params = base_params.with_epsilon(epsilon * base_params.delta)
-        lags = []
-        rates = []
-        totals = []
-        for seed in seeds:
-            scenario = partitioned_chaos_scenario(
-                n, params=params, ts=ts_factor * params.delta, seed=seed
-            )
-            run = run_scenario(scenario, "modified-paxos")
-            lag = _lag_in_delta(run)
-            if lag is not None:
-                lags.append(lag)
-            monitor = run.simulator.network.monitor
-            window_end = run.simulator.now()
-            window_start = scenario.config.ts
-            if window_end > window_start:
-                rate = monitor.send_rate(window_start, window_end) / n
-                rates.append(rate * params.delta)
-            totals.append(monitor.stats.sent)
-        table.add_row(
-            epsilon_delta=epsilon,
-            max_lag_delta=max(lags) if lags else None,
-            bound_delta=decision_bound(params) / params.delta,
-            post_ts_msgs_per_proc_per_delta=(sum(rates) / len(rates)) if rates else None,
-            total_messages=sum(totals) // max(1, len(totals)),
-        )
-    return table
 
 
 # --------------------------------------------------------------------------- E7
@@ -329,13 +330,27 @@ def experiment_e7_stable_case(
     ),
     seeds: Iterable[int] = (1, 2, 3),
     params: Optional[TimingParams] = None,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C6: with a stable, failure-free system all protocols decide in a few message delays."""
     params = params if params is not None else default_experiment_params()
-    table = ExperimentTable(
+    spec = ExperimentSpec(
+        workload="stable",
+        protocols=tuple(protocols),
+        seeds=tuple(seeds),
+        base={"n": n, "params": params},
+    )
+    results = run_experiment(spec, executor=executor)
+    return ExperimentTable.from_result_set(
+        results,
         experiment="E7",
         title=f"Stable failure-free system from t=0 (n={n}): time to global decision",
-        headers=["protocol", "runs", "mean_decision_delta", "max_decision_delta"],
+        group=("protocol",),
+        columns={
+            "runs": lambda subset: len(subset.values(lag_delta)),
+            "mean_decision_delta": lambda subset: subset.mean(lag_delta),
+            "max_decision_delta": lambda subset: subset.max(lag_delta),
+        },
         notes=(
             "delays are measured from t=0 in units of delta; the paper's 3-message-delay "
             "figure assumes phase 1 is pre-executed, which this cold start does not do, so "
@@ -343,21 +358,6 @@ def experiment_e7_stable_case(
             "its 2*delta hold-back"
         ),
     )
-    for protocol in protocols:
-        times = []
-        for seed in seeds:
-            scenario = stable_scenario(n, params=params, seed=seed)
-            run = run_scenario(scenario, protocol)
-            lag = _lag_in_delta(run)
-            if lag is not None:
-                times.append(lag)
-        table.add_row(
-            protocol=protocol,
-            runs=len(times),
-            mean_decision_delta=(sum(times) / len(times)) if times else None,
-            max_decision_delta=max(times) if times else None,
-        )
-    return table
 
 
 # --------------------------------------------------------------------------- E9
@@ -366,15 +366,21 @@ def experiment_e9_smr_stable_case(
     stable_commands: int = 30,
     chaos_commands: int = 10,
     params: Optional[TimingParams] = None,
+    executor: Optional[Executor] = None,
 ) -> ExperimentTable:
     """C6 (multi-instance): stable-case commands commit in a few message delays.
 
     Uses the SMR extension (:mod:`repro.smr`): one ballot and one phase 1
     cover the whole log, so during stable periods a command costs a single
     phase-2 round (plus one forwarding hop when submitted at a follower).
+    The ``executor`` parameter is accepted for campaign uniformity but
+    unused — the SMR runner drives the simulator directly, outside the
+    single-decree run-task path.
     """
     from repro.smr.runner import run_smr
     from repro.smr.workload import uniform_schedule
+    from repro.workloads.chaos import partitioned_chaos_scenario
+    from repro.workloads.stable import stable_scenario
 
     params = params if params is not None else default_experiment_params()
     delta = params.delta

@@ -1,4 +1,17 @@
-"""Parameter sweeps: run a scenario family over a grid of points and seeds."""
+"""Parameter sweeps: run a scenario family over a grid of points and seeds.
+
+``sweep`` is the simulator-level convenience: its points keep full
+:class:`~repro.harness.runner.RunResult`\\ s (simulator included), so it runs
+through a serial-capable :class:`~repro.harness.executors.Executor` in this
+process.  For parallel grids use the declarative Experiment API
+(:mod:`repro.harness.experiment`), which exchanges condensed outcomes
+instead.
+
+Scenarios come either from an explicit ``scenario_factory`` callable or —
+preferred — from a ``workload`` name resolved through the
+:class:`~repro.workloads.registry.ScenarioRegistry`, with the swept
+``parameter`` passed as that workload's keyword argument.
+"""
 
 from __future__ import annotations
 
@@ -8,7 +21,9 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 from repro.analysis.stats import summarize
 from repro.consensus.base import ProtocolBuilder
 from repro.errors import ExperimentError
-from repro.harness.runner import RunResult, run_scenario
+from repro.harness.executors import Executor, SerialExecutor
+from repro.harness.runner import RunResult
+from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.scenario import Scenario
 
 __all__ = ["SweepPoint", "SweepResult", "sweep"]
@@ -62,33 +77,58 @@ class SweepResult:
 def sweep(
     parameter: str,
     values: Sequence[Any],
-    scenario_factory: ScenarioFactory,
-    protocol: Union[str, ProtocolBuilder, Callable[[], ProtocolBuilder]],
+    scenario_factory: Optional[ScenarioFactory] = None,
+    protocol: Union[str, ProtocolBuilder, Callable[[], ProtocolBuilder]] = "modified-paxos",
     *,
+    workload: Optional[str] = None,
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    registry: Optional[ScenarioRegistry] = None,
     seeds: Iterable[int] = (0,),
     protocol_kwargs: Optional[Dict[str, Any]] = None,
     enforce_safety: bool = True,
+    executor: Optional[Executor] = None,
 ) -> SweepResult:
     """Run ``protocol`` for every (value, seed) combination.
+
+    The scenario family comes from exactly one of ``scenario_factory`` (an
+    arbitrary callable) or ``workload`` (a registry name; the swept
+    ``parameter`` and the seed are passed as its keyword arguments, merged
+    over ``workload_kwargs``).
 
     ``protocol`` may be a registry name, a zero-argument builder factory
     (recommended — builders hold per-simulation oracles and should not be
     reused across runs), or a single builder instance (only safe for
     oracle-free protocols).
+
+    ``executor`` must be serial-capable (the default
+    :class:`SerialExecutor` is) because sweep points retain full results.
     """
+    if (scenario_factory is None) == (workload is None):
+        raise ExperimentError("pass exactly one of scenario_factory or workload")
+    if workload is not None:
+        workload_registry = registry if registry is not None else default_workload_registry()
+        fixed = dict(workload_kwargs or {})
+
+        def scenario_factory(value: Any, seed: int) -> Scenario:
+            return workload_registry.create(
+                workload, **{**fixed, parameter: value, "seed": seed}
+            )
+
+    elif workload_kwargs is not None:
+        raise ExperimentError("workload_kwargs only applies when sweeping a named workload")
+
+    executor = executor if executor is not None else SerialExecutor()
     protocol_name = protocol if isinstance(protocol, str) else None
     result = SweepResult(parameter=parameter, protocol=protocol_name or "custom", points=[])
     for value in values:
         point = SweepPoint(value=value)
         for seed in seeds:
             scenario = scenario_factory(value, seed)
-            if isinstance(protocol, str):
+            if isinstance(protocol, (str, ProtocolBuilder)):
                 run_protocol: Union[str, ProtocolBuilder] = protocol
-            elif isinstance(protocol, ProtocolBuilder):
-                run_protocol = protocol
             else:
                 run_protocol = protocol()
-            run = run_scenario(
+            run = executor.run_result(
                 scenario,
                 run_protocol,
                 protocol_kwargs=protocol_kwargs,

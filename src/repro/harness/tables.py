@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 __all__ = ["render_table", "ExperimentTable"]
 
@@ -53,6 +53,36 @@ class ExperimentTable:
 
     def add_row(self, **values: Any) -> None:
         self.rows.append(values)
+
+    @classmethod
+    def from_result_set(
+        cls,
+        results: Any,
+        *,
+        experiment: str,
+        title: str,
+        group: Sequence[str],
+        columns: Mapping[str, Callable[[Any], Any]],
+        notes: str = "",
+    ) -> "ExperimentTable":
+        """Render a :class:`~repro.harness.experiment.ResultSet` as a table.
+
+        One table row per ``group`` key (tag names, in grid order); each
+        ``columns`` entry maps a header to an aggregator called with that
+        group's sub-``ResultSet``.
+        """
+        table = cls(
+            experiment=experiment,
+            title=title,
+            headers=[*group, *columns],
+            notes=notes,
+        )
+        for key, subset in results.group_by(*group).items():
+            row = dict(zip(group, key))
+            for header, aggregate in columns.items():
+                row[header] = aggregate(subset)
+            table.add_row(**row)
+        return table
 
     def column(self, header: str) -> List[Any]:
         return [row.get(header) for row in self.rows]

@@ -11,13 +11,23 @@ from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenar
 from repro.workloads.composite import kitchen_sink_scenario
 from repro.workloads.coordinator_faults import coordinator_crash_scenario
 from repro.workloads.obsolete import obsolete_ballot_scenario
+from repro.workloads.registry import (
+    ScenarioRegistry,
+    WorkloadSpec,
+    default_workload_registry,
+    register_workload,
+)
 from repro.workloads.restarts import restart_after_stability_scenario
 from repro.workloads.scenario import Scenario
 from repro.workloads.stable import stable_scenario
 
 __all__ = [
     "Scenario",
+    "ScenarioRegistry",
+    "WorkloadSpec",
     "coordinator_crash_scenario",
+    "default_workload_registry",
+    "register_workload",
     "kitchen_sink_scenario",
     "lossy_chaos_scenario",
     "obsolete_ballot_scenario",

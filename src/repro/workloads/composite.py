@@ -27,6 +27,7 @@ from repro.net.synchrony import EventualSynchrony
 from repro.params import TimingParams
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
+from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
 
 __all__ = ["kitchen_sink_scenario"]
@@ -60,6 +61,15 @@ class _DeferringPartitionAdversary(Adversary):
         return self.duplicate_prob
 
 
+@register_workload(
+    "kitchen-sink",
+    summary="every adversity the model allows at once: partitions, deferral, duplication, "
+    "crashes, late restarts, worst-case post-TS delays",
+    param_help={
+        "n": "number of processes (at least 3)",
+        "late_restart_offset": "when (after TS, in delta units) the late victim restarts",
+    },
+)
 def kitchen_sink_scenario(
     n: int,
     params: Optional[TimingParams] = None,

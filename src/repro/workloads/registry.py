@@ -1,0 +1,195 @@
+"""Registry mapping workload names to scenario factories.
+
+This mirrors :class:`repro.consensus.registry.ProtocolRegistry`: the CLI,
+the sweep helper, the experiment grids, and the examples all resolve
+workloads by name through a :class:`ScenarioRegistry` so new workloads only
+need to be added in one place.  Each workload module registers its factory
+with :func:`register_workload`, which also captures the factory's parameter
+schema (derived from its signature, optionally annotated with help text) so
+callers can validate keyword arguments and ``repro list-workloads`` can
+print what each workload accepts.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.scenario import Scenario
+
+__all__ = [
+    "ScenarioRegistry",
+    "WorkloadParameter",
+    "WorkloadSpec",
+    "default_workload_registry",
+    "register_workload",
+]
+
+ScenarioFactory = Callable[..., Scenario]
+
+_NO_DEFAULT = inspect.Parameter.empty
+
+
+@dataclass(frozen=True)
+class WorkloadParameter:
+    """One keyword parameter a workload factory accepts."""
+
+    name: str
+    default: Any = None
+    required: bool = False
+    help: str = ""
+
+    def describe(self) -> str:
+        if self.required:
+            text = f"{self.name} (required)"
+        else:
+            text = f"{self.name}={self.default!r}"
+        if self.help:
+            text += f"  {self.help}"
+        return text
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload: its factory plus its parameter schema."""
+
+    name: str
+    factory: ScenarioFactory
+    summary: str = ""
+    parameters: Tuple[WorkloadParameter, ...] = ()
+
+    def parameter_names(self) -> List[str]:
+        return [parameter.name for parameter in self.parameters]
+
+    def accepts(self, name: str) -> bool:
+        return any(parameter.name == name for parameter in self.parameters)
+
+    def describe(self) -> str:
+        lines = [f"{self.name}: {self.summary}" if self.summary else self.name]
+        for parameter in self.parameters:
+            lines.append(f"  {parameter.describe()}")
+        return "\n".join(lines)
+
+
+def _schema_from_signature(
+    factory: ScenarioFactory, param_help: Optional[Mapping[str, str]]
+) -> Tuple[WorkloadParameter, ...]:
+    """Derive the parameter schema from the factory's signature."""
+    help_text = dict(param_help or {})
+    parameters = []
+    for parameter in inspect.signature(factory).parameters.values():
+        if parameter.kind in (inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD):
+            continue
+        required = parameter.default is _NO_DEFAULT
+        parameters.append(
+            WorkloadParameter(
+                name=parameter.name,
+                default=None if required else parameter.default,
+                required=required,
+                help=help_text.pop(parameter.name, ""),
+            )
+        )
+    if help_text:
+        raise ConfigurationError(
+            f"param_help mentions unknown parameters {sorted(help_text)} "
+            f"for workload factory {factory.__name__}"
+        )
+    return tuple(parameters)
+
+
+class ScenarioRegistry:
+    """Name → workload-spec mapping with schema-validated construction."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, WorkloadSpec] = {}
+
+    def register(self, spec: WorkloadSpec) -> None:
+        if spec.name in self._specs:
+            raise ConfigurationError(f"workload {spec.name!r} registered twice")
+        self._specs[spec.name] = spec
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def get(self, name: str) -> WorkloadSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ConfigurationError(
+                f"unknown workload {name!r}; available: {', '.join(self.names())}"
+            )
+        return spec
+
+    def create(self, name: str, **kwargs: Any) -> Scenario:
+        """Build the scenario registered under ``name``, validating kwargs."""
+        spec = self.get(name)
+        accepted = set(spec.parameter_names())
+        for key in kwargs:
+            if key not in accepted:
+                raise ConfigurationError(
+                    f"workload {name!r} does not accept parameter {key!r}; "
+                    f"accepted: {', '.join(sorted(accepted))}"
+                )
+        missing = [
+            parameter.name
+            for parameter in spec.parameters
+            if parameter.required and parameter.name not in kwargs
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"workload {name!r} requires parameters: {', '.join(missing)}"
+            )
+        return spec.factory(**kwargs)
+
+
+# Specs registered by the @register_workload decorators at module import.
+_WORKLOAD_SPECS: Dict[str, WorkloadSpec] = {}
+
+
+def register_workload(
+    name: str,
+    summary: str = "",
+    param_help: Optional[Mapping[str, str]] = None,
+) -> Callable[[ScenarioFactory], ScenarioFactory]:
+    """Class decorator registering a scenario factory in the default registry.
+
+    The factory is returned unchanged, so direct calls keep working; the
+    parameter schema is derived from the factory's signature.
+    """
+
+    def decorate(factory: ScenarioFactory) -> ScenarioFactory:
+        if name in _WORKLOAD_SPECS:
+            raise ConfigurationError(f"workload {name!r} registered twice")
+        _WORKLOAD_SPECS[name] = WorkloadSpec(
+            name=name,
+            factory=factory,
+            summary=summary,
+            parameters=_schema_from_signature(factory, param_help),
+        )
+        return factory
+
+    return decorate
+
+
+def default_workload_registry() -> ScenarioRegistry:
+    """Registry pre-populated with every workload in this repository.
+
+    Imports happen lazily (mirroring
+    :func:`repro.consensus.registry.default_registry`) so importing the
+    registry module does not pull in every workload module.
+    """
+    import repro.workloads.chaos  # noqa: F401
+    import repro.workloads.composite  # noqa: F401
+    import repro.workloads.coordinator_faults  # noqa: F401
+    import repro.workloads.obsolete  # noqa: F401
+    import repro.workloads.restarts  # noqa: F401
+    import repro.workloads.stable  # noqa: F401
+
+    registry = ScenarioRegistry()
+    for spec in _WORKLOAD_SPECS.values():
+        registry.register(spec)
+    return registry

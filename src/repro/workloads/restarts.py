@@ -22,11 +22,20 @@ from repro.net.synchrony import EventualSynchrony
 from repro.params import TimingParams
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
+from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
 
 __all__ = ["restart_after_stability_scenario"]
 
 
+@register_workload(
+    "restarts",
+    summary="a minority crashes before TS and restarts at TS + offset (E5)",
+    param_help={
+        "n": "number of processes (at least 3)",
+        "restart_offsets": "offsets after TS (in delta units) at which victims restart",
+    },
+)
 def restart_after_stability_scenario(
     n: int,
     params: Optional[TimingParams] = None,

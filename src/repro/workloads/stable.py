@@ -15,11 +15,20 @@ from repro.net.synchrony import EventualSynchrony
 from repro.params import TimingParams
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
+from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
 
 __all__ = ["stable_scenario"]
 
 
+@register_workload(
+    "stable",
+    summary="synchronous from t=0, no faults: the failure-free fast path (E7)",
+    param_help={
+        "n": "number of processes",
+        "max_time": "simulation horizon (defaults to 200 delta)",
+    },
+)
 def stable_scenario(
     n: int,
     params: Optional[TimingParams] = None,

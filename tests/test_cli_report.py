@@ -39,6 +39,7 @@ class TestRunReport:
 
 class TestCliParser:
     def test_workload_list_is_complete(self):
+        # Every workload module self-registers, so the CLI list is the registry.
         assert set(WORKLOADS) == {
             "stable",
             "partitioned-chaos",
@@ -46,6 +47,7 @@ class TestCliParser:
             "obsolete-ballots",
             "coordinator-crash",
             "restarts",
+            "kitchen-sink",
         }
 
     def test_parser_requires_subcommand(self):
