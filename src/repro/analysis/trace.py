@@ -47,6 +47,11 @@ class TraceRecorder:
 
     Args:
         enabled: When False, ``record`` becomes a no-op (cheap benchmarks).
+            Hot call sites (the simulator's send/deliver/decide paths and the
+            node lifecycle) additionally check :attr:`enabled` *before*
+            calling :meth:`record`, so a disabled run never even builds the
+            keyword-argument dict — keep that pattern when adding new
+            recording sites on hot paths.
         capacity: Optional hard cap on stored events; older events are never
             evicted — recording simply stops and ``truncated`` becomes True.
     """

@@ -1,18 +1,21 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro run --protocol modified-paxos --workload partitioned-chaos --n 7 --seed 42
     python -m repro list-protocols
     python -m repro list-workloads
     python -m repro experiments --scale smoke --jobs 4 --out results/
+    python -m repro bench --out BENCH_PR2.json --check
 
 ``run`` executes a single (workload, protocol) pair and prints the run
 report; workloads are resolved by name through the
 :class:`~repro.workloads.registry.ScenarioRegistry`, protocols through the
 :class:`~repro.consensus.registry.ProtocolRegistry`.  ``experiments``
 delegates to the campaign runner (:mod:`repro.harness.campaign`); with
-``--jobs N`` the runs fan out over a process pool.
+``--jobs N`` the runs fan out over a process pool.  ``bench`` runs the
+hot-path kernel suite plus an E1-style macro run (:mod:`repro.harness.bench`)
+and can gate against the last committed ``BENCH_*.json`` artifact.
 """
 
 from __future__ import annotations
@@ -95,6 +98,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the experiment runs (1 = serial)",
     )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the hot-path kernel benchmarks and the E1-style macro run"
+    )
+    bench_parser.add_argument("--out", default=None,
+                              help="write the JSON artifact here (default: print only)")
+    bench_parser.add_argument("--label", default="",
+                              help="free-form label stored in the artifact (e.g. PR2)")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="smaller kernels for CI and smoke testing")
+    bench_parser.add_argument("--check", action="store_true",
+                              help="fail if a kernel regressed vs. the last committed BENCH_*.json")
+    bench_parser.add_argument("--tolerance", type=float, default=0.2,
+                              help="allowed fractional regression for --check (default 0.2)")
+    bench_parser.add_argument("--baseline-dir", default=".",
+                              help="directory searched for committed BENCH_*.json artifacts")
+    bench_parser.add_argument("--baseline-file", default=None,
+                              help="embed this earlier measurement and speedups into the artifact")
     return parser
 
 
@@ -161,11 +182,57 @@ def _command_experiments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.bench import (
+        attach_baseline,
+        compare_to_baseline,
+        find_latest_baseline,
+        run_bench,
+        write_bench,
+    )
+
+    result = run_bench(quick=args.quick, label=args.label)
+
+    if args.baseline_file:
+        with open(args.baseline_file, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        attach_baseline(result, baseline, note=f"embedded from {args.baseline_file}")
+
+    status = 0
+    if args.check:
+        committed_path = find_latest_baseline(args.baseline_dir)
+        if committed_path is None:
+            print(f"bench check: no committed BENCH_*.json under {args.baseline_dir!r}; "
+                  "nothing to compare against")
+        else:
+            with open(committed_path, "r", encoding="utf-8") as handle:
+                committed = json.load(handle)
+            regressions = compare_to_baseline(result, committed, tolerance=args.tolerance)
+            if regressions:
+                print(f"bench check FAILED against {committed_path}:")
+                for line in regressions:
+                    print(f"  {line}")
+                status = 1
+            else:
+                print(f"bench check passed against {committed_path} "
+                      f"(tolerance {args.tolerance:.0%})")
+
+    if args.out:
+        write_bench(result, args.out)
+        print(f"wrote {args.out}")
+    else:
+        print(json.dumps(result, indent=2))
+    return status
+
+
 _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "run": _command_run,
     "list-protocols": _command_list_protocols,
     "list-workloads": _command_list_workloads,
     "experiments": _command_experiments,
+    "bench": _command_bench,
 }
 
 

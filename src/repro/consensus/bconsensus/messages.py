@@ -25,7 +25,7 @@ class FirstPayload:
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Vote(Message):
     """Stage-2 vote, sent over plain channels.
 
@@ -39,7 +39,7 @@ class Vote(Message):
     vote: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BDecision(Message):
     """Decision announcement."""
 

@@ -10,7 +10,7 @@ from repro.net.message import Message
 __all__ = ["StartRound", "Propose", "Ack", "RoundDecision", "round_of"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StartRound(Message):
     """Broadcast by a process when it enters a round.
 
@@ -28,7 +28,7 @@ class StartRound(Message):
     adopted_in: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Propose(Message):
     """The coordinator's proposal for its round."""
 
@@ -38,7 +38,7 @@ class Propose(Message):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Ack(Message):
     """Broadcast by a process that adopted the coordinator's proposal."""
 
@@ -48,7 +48,7 @@ class Ack(Message):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundDecision(Message):
     """Decision announcement."""
 

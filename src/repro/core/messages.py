@@ -19,7 +19,7 @@ from repro.net.message import Message
 __all__ = ["Phase1a", "Phase1b", "Phase2a", "Phase2b", "Rejected", "Decision", "ballot_of"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase1a(Message):
     """"Prepare": announces ballot ``mbal`` on behalf of its owner."""
 
@@ -28,7 +28,7 @@ class Phase1a(Message):
     mbal: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase1b(Message):
     """"Promise": reply to a phase 1a, carrying the sender's last vote.
 
@@ -43,7 +43,7 @@ class Phase1b(Message):
     voted_val: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase2a(Message):
     """"Accept request": the ballot owner asks acceptors to accept ``value``."""
 
@@ -53,7 +53,7 @@ class Phase2a(Message):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Phase2b(Message):
     """"Accepted": the sender accepted ``value`` in ballot ``mbal``."""
 
@@ -63,7 +63,7 @@ class Phase2b(Message):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rejected(Message):
     """Traditional Paxos only: tells a proposer its ballot is too low."""
 
@@ -72,7 +72,7 @@ class Rejected(Message):
     mbal: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision(Message):
     """Decision announcement (the stop-the-algorithm optimization)."""
 

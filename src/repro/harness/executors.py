@@ -63,6 +63,7 @@ class RunTask:
     enforce_safety: bool = True
     enforce_invariants: bool = True
     run_until_decided: bool = True
+    record_envelopes: bool = True
 
     def describe(self) -> str:
         labels = " ".join(f"{key}={value!r}" for key, value in sorted(self.tags.items()))
@@ -128,6 +129,7 @@ def execute_task_result(
         enforce_safety=task.enforce_safety,
         enforce_invariants=task.enforce_invariants,
         run_until_decided=task.run_until_decided,
+        record_envelopes=task.record_envelopes,
     )
 
 

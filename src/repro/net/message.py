@@ -4,12 +4,21 @@ Protocol messages are small frozen dataclasses subclassing :class:`Message`.
 The network wraps each send in an :class:`Envelope` carrying transport
 metadata (source, destination, send time, fate); protocols never see
 envelopes, only messages and the sender id.
+
+Both layers are declared with ``slots=True``: envelopes are the most
+frequently allocated objects in a simulation, and slotted instances are
+both smaller and faster to construct.  Message ids are normally assigned by
+the owning :class:`~repro.net.network.Network` from its own counter, so two
+networks (or two back-to-back runs) produce identical ``msg_id`` streams;
+the module-level fallback counter only serves envelopes constructed directly
+in tests.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import warnings
 from dataclasses import dataclass, field, fields
 from typing import ClassVar, Optional
 
@@ -23,12 +32,13 @@ class Era(enum.Enum):
     POST = "post-stabilization"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """Base class for protocol messages.
 
     Subclasses add their own fields and set ``kind`` to a short stable name
-    used by traces, monitors, and message-type filters.
+    used by traces, monitors, and message-type filters.  Subclasses should
+    also declare ``slots=True`` so their instances stay dict-free.
     """
 
     kind: ClassVar[str] = "message"
@@ -39,10 +49,13 @@ class Message:
         return f"{self.kind}({', '.join(parts)})"
 
 
+# Fallback ids for envelopes built outside a Network (tests, fixtures).  The
+# network never consults this counter — it assigns msg_id explicitly from its
+# own per-instance stream.
 _envelope_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Envelope:
     """Transport wrapper around one message instance in flight.
 
@@ -52,7 +65,8 @@ class Envelope:
         dst: Destination process id.
         send_time: Real time at which the send happened.
         era: Whether the send happened before or after stabilization.
-        msg_id: Unique id for tracing.
+        msg_id: Unique id for tracing (per-network stream; a module-level
+            fallback counter serves directly constructed envelopes).
         deliver_time: Real delivery time once the fate is decided, else None.
         dropped: True if the network decided to lose the message.
         duplicated_from: msg_id of the original if this is a duplicate copy.
@@ -94,6 +108,18 @@ class Envelope:
 
 
 def reset_envelope_ids() -> None:
-    """Reset the global envelope id counter (test isolation helper)."""
+    """Reset the fallback envelope id counter.
+
+    .. deprecated:: PR2
+        Networks now own their id streams, so seeded runs are reproducible
+        without any global reset; this only affects envelopes constructed
+        directly (outside a network) and will be removed.
+    """
+    warnings.warn(
+        "reset_envelope_ids() is deprecated: msg_id streams are per-Network "
+        "and deterministic without it",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     global _envelope_ids
     _envelope_ids = itertools.count()

@@ -8,7 +8,6 @@ report messages per second during the stable period.
 
 from __future__ import annotations
 
-import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -113,4 +112,6 @@ class NetworkMonitor:
         return max(self._send_buckets.values()) / self.bucket_width
 
     def _bucket(self, time: float) -> int:
-        return int(math.floor(time / self.bucket_width))
+        # float floor-division == math.floor(t / w) for the non-negative
+        # times the simulator produces, without the function-call overhead.
+        return int(time // self.bucket_width)

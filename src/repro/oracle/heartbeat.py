@@ -35,7 +35,7 @@ __all__ = ["Heartbeat", "HeartbeatElector"]
 _TIMER_NAME = "omega-heartbeat"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat(Message):
     """Periodic liveness announcement."""
 

@@ -33,7 +33,7 @@ _CLOCK_KEY = "wab:clock"
 _TIMER_PREFIX = "wab-release-"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WabMessage(Message):
     """An oracle broadcast carrying an opaque protocol payload."""
 

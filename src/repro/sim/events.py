@@ -6,71 +6,120 @@ instant with the same priority: ties are broken by insertion order, which is
 itself deterministic because the whole simulation is single-threaded and
 seeded.
 
-Cancellation is lazy: cancelling an event marks its handle and the queue
-skips cancelled entries when popping.  This keeps ``cancel`` O(1) and avoids
-re-heapifying.
+The queue is the hottest data structure in the simulator, so it stores each
+entry as a plain ``(time, priority, seq, action, args, label)`` tuple rather
+than an object: tuples compare element-wise, which gives heapq the ordering
+for free (``seq`` is unique, so the comparison never reaches ``action``),
+and pushing one costs a single small allocation.  :class:`Event` is a
+``NamedTuple`` over the same six slots — ``pop`` and ``snapshot`` return
+entries through it so inspection code can say ``event.label`` instead of
+``event[5]`` — while the run loop uses :meth:`EventQueue.pop_before`, which
+hands back the raw tuple without any wrapping.
+
+Cancellation is opt-in and lazy.  ``push(..., cancellable=True)`` (the
+default) allocates an :class:`EventHandle` and registers it; schedulers that
+never cancel — network deliveries, one-shot fault injections — pass
+``cancellable=False`` and get ``None`` back, skipping the handle allocation
+and the registry insert entirely.  Cancelling marks the entry's sequence
+number in a side set and the queue skips marked entries when popping, which
+keeps ``cancel`` O(1) and avoids re-heapifying.  Cancelling a handle whose
+event already fired (or that was dropped by :meth:`EventQueue.clear`) is a
+tracked no-op — it bumps :attr:`EventQueue.stale_cancels` and leaves the
+live count untouched.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Callable, NamedTuple, Optional, Tuple
 
 from repro.errors import SchedulingError
 
 __all__ = ["Event", "EventHandle", "EventQueue"]
 
+_INF = float("inf")
 
-@dataclass(frozen=True)
-class Event:
-    """A scheduled callback.
+
+class Event(NamedTuple):
+    """One scheduled callback, as stored on the heap.
 
     Attributes:
         time: Simulated time at which the event fires.
         priority: Lower priorities fire first among events at the same time.
         seq: Monotonic sequence number used as the final tie-breaker.
-        action: Zero-argument callable invoked when the event fires.
+        action: Callable invoked as ``action(*args)`` when the event fires.
+        args: Positional arguments for ``action`` (empty for thunks).
         label: Human-readable tag used by traces and debugging output.
     """
 
     time: float
     priority: int
     seq: int
-    action: Callable[[], None]
+    action: Callable[..., None]
+    args: Tuple = ()
     label: str = ""
 
+    def fire(self) -> None:
+        """Invoke the action with its bound arguments."""
+        self.action(*self.args)
 
-@dataclass
+
 class EventHandle:
-    """Handle returned by :meth:`EventQueue.push`, used for cancellation."""
+    """Cancellation token returned by a cancellable :meth:`EventQueue.push`."""
 
-    event: Event
-    cancelled: bool = False
+    __slots__ = ("time", "label", "seq", "cancelled", "fired", "_queue")
 
-    @property
-    def time(self) -> float:
-        return self.event.time
+    def __init__(
+        self,
+        time: float = 0.0,
+        label: str = "",
+        seq: int = -1,
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.label = label
+        self.seq = seq
+        self.cancelled = False
+        self.fired = False
+        self._queue = queue
 
-    @property
-    def label(self) -> str:
-        return self.event.label
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"EventHandle(time={self.time}, label={self.label!r}, {state})"
 
     def cancel(self) -> None:
-        """Mark the event as cancelled.  Cancelling twice is an error."""
+        """Cancel the event.  Cancelling twice is an error."""
+        if self._queue is not None:
+            self._queue.cancel(self)
+        else:
+            self._mark_cancelled()
+
+    def _mark_cancelled(self) -> None:
         if self.cancelled:
-            raise SchedulingError(f"event {self.event.label!r} cancelled twice")
+            raise SchedulingError(f"event {self.label!r} cancelled twice")
         self.cancelled = True
 
 
-@dataclass
 class EventQueue:
-    """Priority queue of :class:`Event` objects with lazy cancellation."""
+    """Priority queue of event tuples with lazy, opt-in cancellation.
 
-    _heap: list[tuple[float, int, int, EventHandle]] = field(default_factory=list)
-    _counter: Iterator[int] = field(default_factory=itertools.count)
-    _live: int = 0
+    Attributes:
+        stale_cancels: Number of cancellations that targeted an event which
+            had already fired or been cleared — tracked no-ops that leave the
+            live count intact.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live", "_cancelled", "_handles", "stale_cancels")
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = 0
+        self._live = 0
+        # Sequence numbers of cancelled entries still sitting in the heap.
+        self._cancelled: set = set()
+        # seq -> handle, for cancellable entries that have not fired yet.
+        self._handles: dict = {}
+        self.stale_cancels = 0
 
     def __len__(self) -> int:
         """Number of *live* (non-cancelled) events still queued."""
@@ -82,25 +131,66 @@ class EventQueue:
     def push(
         self,
         time: float,
-        action: Callable[[], None],
-        *,
+        action: Callable[..., None],
         priority: int = 0,
         label: str = "",
-    ) -> EventHandle:
-        """Schedule ``action`` at ``time`` and return a cancellable handle."""
-        seq = next(self._counter)
-        event = Event(time=time, priority=priority, seq=seq, action=action, label=label)
-        handle = EventHandle(event=event)
-        heapq.heappush(self._heap, (time, priority, seq, handle))
+        args: Tuple = (),
+        cancellable: bool = True,
+    ) -> Optional[EventHandle]:
+        """Schedule ``action(*args)`` at ``time``.
+
+        Returns an :class:`EventHandle` for later cancellation, or ``None``
+        when ``cancellable=False`` — the fast path for events that are never
+        cancelled (network deliveries, one-shot injections), which skips the
+        handle allocation entirely.  Parameters are positional-or-keyword so
+        the simulator's scheduling front-ends can call in positionally.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, priority, seq, action, args, label))
         self._live += 1
+        if not cancellable:
+            return None
+        handle = EventHandle(time, label, seq, self)
+        self._handles[seq] = handle
         return handle
 
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or ``None`` if the queue is empty."""
-        self._discard_cancelled()
+        self._skip_cancelled()
         if not self._heap:
             return None
         return self._heap[0][0]
+
+    def pop_before(self, horizon: float) -> Optional[tuple]:
+        """Remove and return the next live entry firing at or before ``horizon``.
+
+        Returns the raw ``(time, priority, seq, action, args, label)`` tuple
+        (fire it with ``entry[3](*entry[4])``), or ``None`` if the queue is
+        empty or the next live event lies beyond the horizon.  This is the
+        run loop's single peek-and-pop operation.
+        """
+        heap = self._heap
+        cancelled = self._cancelled
+        while True:
+            if not heap:
+                return None
+            entry = heap[0]
+            if cancelled and entry[2] in cancelled:
+                heapq.heappop(heap)
+                cancelled.discard(entry[2])
+                continue
+            break
+        if entry[0] > horizon:
+            return None
+        heapq.heappop(heap)
+        self._live -= 1
+        handles = self._handles
+        if handles:
+            handle = handles.pop(entry[2], None)
+            if handle is not None:
+                handle.fired = True
+        return entry
 
     def pop(self) -> Event:
         """Remove and return the next live event.
@@ -108,32 +198,57 @@ class EventQueue:
         Raises:
             SchedulingError: if the queue holds no live events.
         """
-        self._discard_cancelled()
-        if not self._heap:
+        entry = self.pop_before(_INF)
+        if entry is None:
             raise SchedulingError("pop from an empty event queue")
-        _, _, _, handle = heapq.heappop(self._heap)
-        self._live -= 1
-        return handle.event
+        return Event._make(entry)
 
-    def cancel(self, handle: EventHandle) -> None:
-        """Cancel a previously pushed event via its handle."""
-        handle.cancel()
+    def cancel(self, handle: Optional[EventHandle]) -> None:
+        """Cancel a previously pushed event via its handle.
+
+        Cancelling a handle whose event already fired (or was dropped by
+        :meth:`clear`) is a tracked no-op: the live count is not touched and
+        :attr:`stale_cancels` is bumped.  Cancelling the same handle twice
+        raises.
+        """
+        if handle is None:
+            raise SchedulingError(
+                "cannot cancel an event scheduled with cancellable=False"
+            )
+        handle._mark_cancelled()
+        # The queue-identity check keeps a foreign handle (another queue's, or
+        # a standalone test fake) from cancelling an unrelated local event
+        # that happens to share its sequence number.
+        if handle._queue is not self or self._handles.pop(handle.seq, None) is None:
+            # Foreign, already fired, or cleared.
+            self.stale_cancels += 1
+            return
+        self._cancelled.add(handle.seq)
         self._live -= 1
 
     def clear(self) -> None:
         """Drop every queued event (used when tearing a simulation down)."""
         self._heap.clear()
+        self._cancelled.clear()
+        self._handles.clear()
         self._live = 0
 
-    def _discard_cancelled(self) -> None:
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
+    def _skip_cancelled(self) -> None:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and cancelled:
+            seq = heap[0][2]
+            if seq not in cancelled:
+                return
+            heapq.heappop(heap)
+            cancelled.discard(seq)
 
-    def snapshot(self) -> list[Event]:
+    def snapshot(self) -> list:
         """Return the live events in firing order without consuming them.
 
         Intended for tests and debugging; cost is O(n log n).
         """
-        entries = [entry for entry in self._heap if not entry[3].cancelled]
+        cancelled = self._cancelled
+        entries = [entry for entry in self._heap if entry[2] not in cancelled]
         entries.sort()
-        return [handle.event for _, _, _, handle in entries]
+        return [Event._make(entry) for entry in entries]

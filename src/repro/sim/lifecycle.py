@@ -98,7 +98,9 @@ class Node:
         if self.process is not None:
             self.process.on_stop()
         self.process = None
-        self.simulator.trace.record(self.simulator.now(), "node", "crash", pid=self.pid)
+        trace = self.simulator.trace
+        if trace.enabled:
+            trace.record(self.simulator.now(), "node", "crash", pid=self.pid)
 
     def restart(self) -> None:
         """Restart after a crash with a fresh protocol instance and old storage."""
@@ -117,9 +119,11 @@ class Node:
         context = self._build_context()
         self.process.bind(context)
         event = "restart" if restarting else "start"
-        self.simulator.trace.record(
-            self.simulator.now(), "node", event, pid=self.pid, incarnation=self.incarnation
-        )
+        trace = self.simulator.trace
+        if trace.enabled:
+            trace.record(
+                self.simulator.now(), "node", event, pid=self.pid, incarnation=self.incarnation
+            )
         self.process.on_start()
 
     # -- interaction with the simulator ----------------------------------------
@@ -163,7 +167,9 @@ class Node:
     def _on_timer_fired(self, name: str) -> None:
         if not self.is_active or self.process is None:
             return
-        self.simulator.trace.record(self.simulator.now(), "node", "timer", pid=self.pid, name=name)
+        trace = self.simulator.trace
+        if trace.enabled:
+            trace.record(self.simulator.now(), "node", "timer", pid=self.pid, name=name)
         self.process.on_timer(name)
 
     def _decide(self, value: Any) -> None:
@@ -172,6 +178,6 @@ class Node:
         self.simulator.record_decision(self.pid, value, self.incarnation)
 
     def _emit(self, event: str, fields: dict) -> None:
-        self.simulator.trace.record(
-            self.simulator.now(), "protocol", event, pid=self.pid, **fields
-        )
+        trace = self.simulator.trace
+        if trace.enabled:
+            trace.record(self.simulator.now(), "protocol", event, pid=self.pid, **fields)

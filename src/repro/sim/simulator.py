@@ -10,7 +10,7 @@ the seed), which the regression tests rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.trace import TraceRecorder
 from repro.errors import ConfigurationError, SimulationError
@@ -126,6 +126,9 @@ class Simulator:
             self.proposals[pid] = value
 
         self.network.bind(self)
+        # Hot-path caches: bound dict lookup for delivery dispatch, and the
+        # trace object whose ``enabled`` flag gates every record call site.
+        self._nodes_get = self.nodes.get
 
     # -- time & scheduling -----------------------------------------------------
     def now(self) -> float:
@@ -133,22 +136,43 @@ class Simulator:
         return self._time
 
     def schedule_at(
-        self, time: float, action: Callable[[], None], *, label: str = "", priority: int = 0
-    ) -> EventHandle:
-        """Schedule ``action`` at absolute time ``time`` (>= now)."""
+        self,
+        time: float,
+        action: Callable[..., None],
+        *,
+        label: str = "",
+        priority: int = 0,
+        args: Tuple = (),
+        cancellable: bool = True,
+    ) -> Optional[EventHandle]:
+        """Schedule ``action(*args)`` at absolute time ``time`` (>= now).
+
+        ``cancellable=False`` skips the :class:`EventHandle` allocation for
+        events that are never cancelled (the network's deliveries) and
+        returns ``None``.
+        """
         if time < self._time:
             raise SimulationError(
                 f"cannot schedule {label!r} at {time} before current time {self._time}"
             )
-        return self._events.push(time, action, priority=priority, label=label)
+        return self._events.push(time, action, priority, label, args, cancellable)
 
     def schedule_in(
-        self, delay: float, action: Callable[[], None], *, label: str = "", priority: int = 0
-    ) -> EventHandle:
+        self,
+        delay: float,
+        action: Callable[..., None],
+        *,
+        label: str = "",
+        priority: int = 0,
+        args: Tuple = (),
+        cancellable: bool = True,
+    ) -> Optional[EventHandle]:
         """Schedule ``action`` after a real delay (>= 0)."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {label!r} with negative delay {delay}")
-        return self.schedule_at(self._time + delay, action, label=label, priority=priority)
+        # A non-negative delay cannot land before the current time, so push
+        # directly instead of re-validating through schedule_at.
+        return self._events.push(self._time + delay, action, priority, label, args, cancellable)
 
     def cancel(self, handle: EventHandle) -> None:
         self._events.cancel(handle)
@@ -157,32 +181,36 @@ class Simulator:
     def transmit(self, message: Message, src: int, dst: int) -> None:
         """Send a protocol message (called by nodes through their context)."""
         envelope = self.network.send(message, src, dst)
-        self.trace.record(
-            self._time,
-            "net",
-            "send",
-            pid=src,
-            dst=dst,
-            kind=envelope.kind,
-            msg_id=envelope.msg_id,
-            dropped=envelope.dropped,
-        )
+        trace = self.trace
+        if trace.enabled:
+            trace.record(
+                self._time,
+                "net",
+                "send",
+                pid=src,
+                dst=dst,
+                kind=envelope.kind,
+                msg_id=envelope.msg_id,
+                dropped=envelope.dropped,
+            )
 
     def deliver_envelope(self, envelope: Envelope) -> bool:
         """Deliver an envelope to its destination node (network callback)."""
-        node = self.nodes.get(envelope.dst)
+        node = self._nodes_get(envelope.dst)
         if node is None:
             return False
         accepted = node.deliver(envelope)
-        self.trace.record(
-            self._time,
-            "net",
-            "deliver" if accepted else "deliver_to_crashed",
-            pid=envelope.dst,
-            src=envelope.src,
-            kind=envelope.kind,
-            msg_id=envelope.msg_id,
-        )
+        trace = self.trace
+        if trace.enabled:
+            trace.record(
+                self._time,
+                "net",
+                "deliver" if accepted else "deliver_to_crashed",
+                pid=envelope.dst,
+                src=envelope.src,
+                kind=envelope.kind,
+                msg_id=envelope.msg_id,
+            )
         return accepted
 
     # -- decisions ----------------------------------------------------------------
@@ -190,7 +218,8 @@ class Simulator:
         record = DecisionRecord(pid=pid, value=value, time=self._time, incarnation=incarnation)
         self.all_decisions.append(record)
         self.decisions.setdefault(pid, record)
-        self.trace.record(self._time, "sim", "decide", pid=pid, value=value)
+        if self.trace.enabled:
+            self.trace.record(self._time, "sim", "decide", pid=pid, value=value)
 
     def decided_pids(self) -> List[int]:
         return sorted(self.decisions)
@@ -207,11 +236,11 @@ class Simulator:
         """Restart process ``pid`` now (it must be crashed)."""
         self._node(pid).restart()
 
-    def schedule_crash(self, pid: int, time: float) -> EventHandle:
-        return self.schedule_at(time, lambda: self.crash(pid), label=f"crash:p{pid}")
+    def schedule_crash(self, pid: int, time: float) -> Optional[EventHandle]:
+        return self.schedule_at(time, self.crash, args=(pid,), label=f"crash:p{pid}")
 
-    def schedule_restart(self, pid: int, time: float) -> EventHandle:
-        return self.schedule_at(time, lambda: self.restart(pid), label=f"restart:p{pid}")
+    def schedule_restart(self, pid: int, time: float) -> Optional[EventHandle]:
+        return self.schedule_at(time, self.restart, args=(pid,), label=f"restart:p{pid}")
 
     def alive_pids(self) -> List[int]:
         return [pid for pid, node in self.nodes.items() if node.is_active]
@@ -235,12 +264,11 @@ class Simulator:
     def step(self) -> bool:
         """Process a single event.  Returns False if no event was available."""
         self.start()
-        next_time = self._events.peek_time()
-        if next_time is None or next_time > self.config.max_time:
+        entry = self._events.pop_before(self.config.max_time)
+        if entry is None:
             return False
-        event = self._events.pop()
-        self._time = event.time
-        event.action()
+        self._time = entry[0]
+        entry[3](*entry[4])
         self.events_processed += 1
         return True
 
@@ -251,6 +279,11 @@ class Simulator:
         max_events: Optional[int] = None,
     ) -> float:
         """Run the event loop.
+
+        The loop body pulls raw ``(time, priority, seq, action, args, label)``
+        entries straight off the queue via
+        :meth:`~repro.sim.events.EventQueue.pop_before` — a single combined
+        peek-and-pop with no per-event object construction.
 
         Args:
             until: Stop once the next event would be after this time.
@@ -263,15 +296,15 @@ class Simulator:
         self.start()
         horizon = min(until, self.config.max_time) if until is not None else self.config.max_time
         processed = 0
+        pop_before = self._events.pop_before
         while not self._stop_requested:
-            next_time = self._events.peek_time()
-            if next_time is None or next_time > horizon:
-                break
             if max_events is not None and processed >= max_events:
                 break
-            event = self._events.pop()
-            self._time = event.time
-            event.action()
+            entry = pop_before(horizon)
+            if entry is None:
+                break
+            self._time = entry[0]
+            entry[3](*entry[4])
             self.events_processed += 1
             processed += 1
             if stop_when is not None and stop_when(self):

@@ -21,6 +21,7 @@ from repro.sim.events import EventHandle
 __all__ = ["TimerManager", "TimerRecord"]
 
 ScheduleFn = Callable[..., EventHandle]
+"""``schedule(real_time, action, *, label=..., args=...)`` -> handle."""
 CancelFn = Callable[[EventHandle], None]
 FireFn = Callable[[str], None]
 
@@ -97,7 +98,9 @@ class TimerManager:
         fires_at = now + real_delay
         epoch = self._epoch
         label = f"timer:{pid_label}:{name}" if pid_label else f"timer:{name}"
-        handle = self._schedule(fires_at, lambda: self._fire(name, epoch), label=label)
+        # Bound method + args instead of a closure: one allocation less per
+        # timer (re)set, and timers are reset on every protocol cadence tick.
+        handle = self._schedule(fires_at, self._fire, args=(name, epoch), label=label)
         record = TimerRecord(
             name=name,
             handle=handle,

@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CommandRequest(Message):
     """A client command submitted at (or forwarded to) a process."""
 
@@ -42,7 +42,7 @@ class CommandRequest(Message):
     origin: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MultiPhase1a(Message):
     """Prepare for every slot at once."""
 
@@ -51,7 +51,7 @@ class MultiPhase1a(Message):
     mbal: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MultiPhase1b(Message):
     """Promise carrying per-slot votes and already-decided entries.
 
@@ -73,7 +73,7 @@ class MultiPhase1b(Message):
         return {slot: value for slot, value in self.decided}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MultiPhase2a(Message):
     """Accept request for one slot."""
 
@@ -84,7 +84,7 @@ class MultiPhase2a(Message):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MultiPhase2b(Message):
     """Accepted: the sender accepted ``value`` for ``slot`` in ballot ``mbal``."""
 
@@ -95,7 +95,7 @@ class MultiPhase2b(Message):
     value: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotDecision(Message):
     """Catch-up announcement of one decided slot."""
 

@@ -11,7 +11,7 @@ from repro.net.adversary import Adversary, BenignAdversary, DropAllAdversary
 from repro.net.message import Envelope, Era
 from repro.net.network import Network
 from repro.net.synchrony import EventualSynchrony
-from repro.sim.events import Event, EventHandle
+from repro.sim.events import EventHandle
 from repro.sim.rng import SeededRng
 
 
@@ -21,15 +21,17 @@ class FakeHost:
 
     time: float = 0.0
     accept_deliveries: bool = True
-    scheduled: List[Tuple[float, Callable[[], None], str]] = field(default_factory=list)
+    scheduled: List[Tuple[float, Callable[..., None], tuple, str]] = field(default_factory=list)
     delivered: List[Envelope] = field(default_factory=list)
 
     def now(self) -> float:
         return self.time
 
-    def schedule_at(self, time, action, *, label=""):
-        self.scheduled.append((time, action, label))
-        return EventHandle(Event(time=time, priority=0, seq=len(self.scheduled), action=action, label=label))
+    def schedule_at(self, time, action, *, label="", args=(), cancellable=True):
+        self.scheduled.append((time, action, args, label))
+        if not cancellable:
+            return None
+        return EventHandle(time=time, label=label, seq=len(self.scheduled))
 
     def deliver_envelope(self, envelope: Envelope) -> bool:
         if not self.accept_deliveries:
@@ -38,8 +40,8 @@ class FakeHost:
         return True
 
     def fire_all(self):
-        for _, action, _ in list(self.scheduled):
-            action()
+        for _, action, args, _ in list(self.scheduled):
+            action(*args)
 
 
 def make_network(ts=0.0, delta=1.0, adversary=None, seed=0):

@@ -7,8 +7,21 @@ import pytest
 
 from repro.errors import SchedulingError
 from repro.sim.clock import DriftingClock
-from repro.sim.events import Event, EventHandle
+from repro.sim.events import EventHandle
 from repro.sim.timers import TimerManager
+
+
+@dataclass
+class FakeEntry:
+    """One scheduled (time, action, args) triple plus its handle."""
+
+    time: float
+    action: Callable[..., None]
+    args: tuple
+    handle: EventHandle
+
+    def fire(self) -> None:
+        self.action(*self.args)
 
 
 @dataclass
@@ -16,11 +29,13 @@ class FakeScheduler:
     """Minimal stand-in for the simulator's scheduling interface."""
 
     now: float = 0.0
-    scheduled: List[EventHandle] = field(default_factory=list)
+    scheduled: List[FakeEntry] = field(default_factory=list)
 
-    def schedule(self, time: float, action: Callable[[], None], *, label: str = "") -> EventHandle:
-        handle = EventHandle(Event(time=time, priority=0, seq=len(self.scheduled), action=action, label=label))
-        self.scheduled.append(handle)
+    def schedule(
+        self, time: float, action: Callable[..., None], *, label: str = "", args: tuple = ()
+    ) -> EventHandle:
+        handle = EventHandle(time=time, label=label, seq=len(self.scheduled))
+        self.scheduled.append(FakeEntry(time=time, action=action, args=args, handle=handle))
         return handle
 
     def cancel(self, handle: EventHandle) -> None:
@@ -28,10 +43,10 @@ class FakeScheduler:
 
     def fire_due(self, up_to: float) -> None:
         """Fire every non-cancelled event scheduled at or before ``up_to``."""
-        for handle in list(self.scheduled):
-            if not handle.cancelled and handle.event.time <= up_to:
-                self.now = handle.event.time
-                handle.event.action()
+        for entry in list(self.scheduled):
+            if not entry.handle.cancelled and entry.time <= up_to:
+                self.now = entry.time
+                entry.fire()
 
 
 def make_manager(rate: float = 1.0):
@@ -53,7 +68,7 @@ class TestSetAndFire:
         record = manager.set("session", 4.0)
         # Local 4.0 at rate 2.0 means 2.0 real seconds.
         assert record.fires_at_real == pytest.approx(2.0)
-        assert scheduler.scheduled[0].event.time == pytest.approx(2.0)
+        assert scheduler.scheduled[0].time == pytest.approx(2.0)
 
     def test_fire_invokes_callback_and_clears_pending(self):
         manager, scheduler, fired = make_manager()
@@ -121,8 +136,8 @@ class TestEpochInvalidation:
         # Simulate a crash/restart between scheduling and firing: the handle
         # is not cancelled (e.g. it was already popped by the event loop) but
         # the epoch moved on.
-        stale_action = scheduler.scheduled[0].event.action
+        stale_entry = scheduler.scheduled[0]
         manager.invalidate_all()
         manager.set("session", 5.0)
-        stale_action()
+        stale_entry.fire()
         assert fired == []
