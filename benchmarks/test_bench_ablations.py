@@ -8,8 +8,6 @@
   which is why the paper pins the timer to Θ(δ).
 """
 
-import pytest
-
 from repro.harness.runner import run_scenario
 from repro.harness.experiments import default_experiment_params
 from repro.params import TimingParams

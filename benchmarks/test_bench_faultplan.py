@@ -1,0 +1,77 @@
+"""Micro-benchmark: FaultPlan fluent construction must stay O(n log n).
+
+Before the bisect refactor every ``crash``/``restart`` call re-sorted the
+whole event list, making an n-event plan cost O(n² log n) comparisons
+overall (hundreds of millions for the plan sizes the churn environments
+generate).  ``bisect.insort`` brings construction down to O(log n)
+comparisons plus a memmove per insert — O(n log n) overall — which this
+module asserts two ways: a growth-ratio check (doubling n must not blow up
+the per-event cost) and an absolute wall-clock ceiling that the quadratic
+implementation misses by orders of magnitude.
+"""
+
+import time
+
+from repro.faults.plan import FaultPlan
+
+
+def _build_plan(num_events: int) -> FaultPlan:
+    plan = FaultPlan()
+    # Alternate crash/restart per pid in ascending time order — the pattern
+    # every schedule generator produces.  bisect lands each insert at the
+    # tail (O(log n) compares, O(1) moves); the old re-sort-per-call code
+    # paid a full O(n)-compare timsort pass for every one of these calls.
+    pids = 64
+    for index in range(num_events // 2):
+        pid = index % pids
+        base = float(index)
+        plan.crash(pid, base)
+        plan.restart(pid, base + 0.5)
+    return plan
+
+
+def _construction_seconds(num_events: int) -> float:
+    start = time.perf_counter()
+    plan = _build_plan(num_events)
+    elapsed = time.perf_counter() - start
+    assert len(plan) == (num_events // 2) * 2
+    return elapsed
+
+
+def test_bench_fault_plan_construction(benchmark):
+    benchmark.pedantic(lambda: _build_plan(20_000), rounds=3, iterations=1)
+
+
+def test_fault_plan_construction_is_not_quadratic():
+    """Micro-assertion: doubling the plan size stays near-linear.
+
+    O(n log n) predicts a time ratio of ~2.2 for a doubling; the pre-bisect
+    O(n² log n) implementation gives ~4 per doubling in comparisons alone
+    (and far worse in constants).  The 3.5x ceiling leaves headroom for
+    timer noise while still failing a quadratic regression, and is averaged
+    over three attempts so one scheduler hiccup cannot flake the build.
+    """
+    small, large = 40_000, 80_000
+    ratios = []
+    for _ in range(3):
+        t_small = _construction_seconds(small)
+        t_large = _construction_seconds(large)
+        ratios.append(t_large / max(t_small, 1e-9))
+    ratios.sort()
+    median_ratio = ratios[len(ratios) // 2]
+    assert median_ratio < 3.5, (
+        f"doubling the plan took {median_ratio:.2f}x longer (median of {ratios}); "
+        "FaultPlan construction has regressed toward quadratic"
+    )
+
+
+def test_fault_plan_construction_absolute_ceiling():
+    """40k fluent inserts must finish in well under a second.
+
+    The pre-bisect implementation needs ~40 s for this workload (one full
+    timsort per insert); the bisect path needs ~50 ms.  A 2 s ceiling is
+    ~40x headroom for slow CI machines while still catching an O(n²)
+    regression by an order of magnitude.
+    """
+    elapsed = _construction_seconds(40_000)
+    assert elapsed < 2.0, f"40k-event plan took {elapsed:.2f}s; construction is no longer O(n log n)"

@@ -23,7 +23,7 @@ Run with::
 """
 
 from repro import TimingParams, default_workload_registry
-from repro.smr import KeyValueStore, run_smr, uniform_schedule
+from repro.smr import KeyValueStore, run_smr
 from repro.smr.workload import CommandSchedule
 
 REPLICAS = 5

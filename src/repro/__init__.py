@@ -44,6 +44,14 @@ print everything the registries know.
 from repro._version import __version__
 from repro.consensus.registry import default_registry
 from repro.core.modified_paxos import ModifiedPaxosBuilder, ModifiedPaxosProcess
+from repro.env.registry import EnvironmentRegistry, default_environment_registry
+from repro.env.spec import (
+    AdversarySpec,
+    EnvironmentSpec,
+    FaultSpec,
+    PartitionDecl,
+    SynchronySpec,
+)
 from repro.core.timing import decision_bound, restart_decision_bound
 from repro.harness.executors import (
     Executor,
@@ -65,6 +73,12 @@ from repro.params import TimingParams
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
 from repro.workloads.coordinator_faults import coordinator_crash_scenario
+from repro.workloads.environments import (
+    asymmetric_link_scenario,
+    churn_scenario,
+    environment_scenario,
+    gray_partition_scenario,
+)
 from repro.workloads.obsolete import obsolete_ballot_scenario
 from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.restarts import restart_after_stability_scenario
@@ -72,8 +86,14 @@ from repro.workloads.scenario import Scenario
 from repro.workloads.stable import stable_scenario
 
 __all__ = [
+    "AdversarySpec",
+    "EnvironmentRegistry",
+    "EnvironmentSpec",
     "Executor",
     "ExperimentSpec",
+    "FaultSpec",
+    "PartitionDecl",
+    "SynchronySpec",
     "ModifiedPaxosBuilder",
     "ModifiedPaxosProcess",
     "ParallelExecutor",
@@ -88,10 +108,15 @@ __all__ = [
     "Simulator",
     "TimingParams",
     "__version__",
+    "asymmetric_link_scenario",
+    "churn_scenario",
     "coordinator_crash_scenario",
     "decision_bound",
+    "default_environment_registry",
     "default_registry",
     "default_workload_registry",
+    "environment_scenario",
+    "gray_partition_scenario",
     "lag_delta",
     "lossy_chaos_scenario",
     "make_executor",

@@ -1,21 +1,27 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro run --protocol modified-paxos --workload partitioned-chaos --n 7 --seed 42
+    python -m repro run --env churn --n 7
     python -m repro list-protocols
     python -m repro list-workloads
+    python -m repro list-environments
     python -m repro experiments --scale smoke --jobs 4 --out results/
     python -m repro bench --out BENCH_PR2.json --check
 
 ``run`` executes a single (workload, protocol) pair and prints the run
 report; workloads are resolved by name through the
 :class:`~repro.workloads.registry.ScenarioRegistry`, protocols through the
-:class:`~repro.consensus.registry.ProtocolRegistry`.  ``experiments``
-delegates to the campaign runner (:mod:`repro.harness.campaign`); with
-``--jobs N`` the runs fan out over a process pool.  ``bench`` runs the
-hot-path kernel suite plus an E1-style macro run (:mod:`repro.harness.bench`)
-and can gate against the last committed ``BENCH_*.json`` artifact.
+:class:`~repro.consensus.registry.ProtocolRegistry`.  ``run --env`` instead
+takes a declarative environment — a name from the
+:class:`~repro.env.registry.EnvironmentRegistry` or an inline
+:class:`~repro.env.spec.EnvironmentSpec` JSON object — and runs it as a
+scenario.  ``experiments`` delegates to the campaign runner
+(:mod:`repro.harness.campaign`); with ``--jobs N`` the runs fan out over a
+process pool.  ``bench`` runs the hot-path kernel suite plus an E1-style
+macro run (:mod:`repro.harness.bench`) and can gate against the last
+committed ``BENCH_*.json`` artifact.
 """
 
 from __future__ import annotations
@@ -26,10 +32,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.report import render_run_report
 from repro.analysis.timeline import render_timelines
 from repro.consensus.registry import default_registry
+from repro.env.registry import default_environment_registry
+from repro.env.spec import EnvironmentSpec
 from repro.errors import ConfigurationError
 from repro.harness.campaign import run_campaign, write_report
 from repro.harness.runner import run_scenario
 from repro.params import TimingParams
+from repro.workloads.environments import environment_scenario
 from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.scenario import Scenario
 
@@ -53,6 +62,17 @@ def _build_workload(
     return registry.create(name, **kwargs)
 
 
+def _build_environment(
+    env: str, n: int, params: TimingParams, ts: Optional[float], seed: int
+) -> Scenario:
+    """Resolve ``--env`` (a registry name or inline JSON) into a scenario."""
+    if env.lstrip().startswith("{"):
+        spec = EnvironmentSpec.from_json(env)
+    else:
+        spec = default_environment_registry().environment(env)
+    return environment_scenario(spec, n=n, params=params, ts=ts, seed=seed)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -65,7 +85,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="run one workload with one protocol")
     run_parser.add_argument("--protocol", default="modified-paxos")
-    run_parser.add_argument("--workload", choices=WORKLOADS, default="partitioned-chaos")
+    # Default None so an explicit --workload can be distinguished from the
+    # fallback when it conflicts with --env; resolved in _command_run.
+    run_parser.add_argument("--workload", choices=WORKLOADS, default=None,
+                            help="workload name (default: partitioned-chaos)")
+    run_parser.add_argument(
+        "--env", default=None, metavar="NAME_OR_JSON",
+        help="run a declarative environment instead of --workload: a name from "
+             "`repro list-environments` or an inline EnvironmentSpec JSON object",
+    )
     run_parser.add_argument("--n", type=int, default=7, help="number of processes")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--ts", type=float, default=None,
@@ -84,6 +112,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_workloads.add_argument("--params", action="store_true",
                                 help="also print each workload's parameter schema")
+
+    list_environments = subparsers.add_parser(
+        "list-environments",
+        help="list registered environments and the adversary/fault primitives",
+    )
+    list_environments.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print each environment's serialized spec instead of the summary",
+    )
 
     experiments_parser = subparsers.add_parser(
         "experiments", help="run the experiment campaign (E1-E9)"
@@ -125,9 +162,16 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.protocol not in registry:
         print(f"unknown protocol {args.protocol!r}; available: {', '.join(registry.names())}")
         return 2
-    workloads = default_workload_registry()
+    if args.env is not None and args.workload is not None:
+        print("pass either --workload or --env, not both")
+        return 2
     try:
-        scenario = _build_workload(workloads, args.workload, args.n, params, args.ts, args.seed)
+        if args.env is not None:
+            scenario = _build_environment(args.env, args.n, params, args.ts, args.seed)
+        else:
+            workloads = default_workload_registry()
+            workload = args.workload if args.workload is not None else "partitioned-chaos"
+            scenario = _build_workload(workloads, workload, args.n, params, args.ts, args.seed)
     except ConfigurationError as error:
         print(error)
         return 2
@@ -170,6 +214,31 @@ def _command_list_workloads(args: argparse.Namespace) -> int:
         for spec in specs:
             print()
             print(spec.describe())
+    return 0
+
+
+def _command_list_environments(args: argparse.Namespace) -> int:
+    registry = default_environment_registry()
+    if args.as_json:
+        for name in registry.names():
+            print(f"{name}:")
+            print(registry.environment(name).to_json(indent=2))
+            print()
+        return 0
+    entries = [(name, registry.entry(name).summary) for name in registry.names()]
+    print("environments (run with `repro run --env <name>`):")
+    print(_render_listing(entries))
+    print()
+    print("adversary primitives (compose into EnvironmentSpec JSON):")
+    print(_render_listing(
+        [(kind, registry.adversary_primitive(kind).summary)
+         for kind in registry.adversary_kinds()]
+    ))
+    print()
+    print("fault-schedule primitives:")
+    print(_render_listing(
+        [(kind, registry.fault_primitive(kind).summary) for kind in registry.fault_kinds()]
+    ))
     return 0
 
 
@@ -231,6 +300,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "run": _command_run,
     "list-protocols": _command_list_protocols,
     "list-workloads": _command_list_workloads,
+    "list-environments": _command_list_environments,
     "experiments": _command_experiments,
     "bench": _command_bench,
 }

@@ -37,7 +37,7 @@ same candidate, and the *next* round's samples are unanimous and decide.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
 from repro.consensus.base import ConsensusProcess
 from repro.consensus.bconsensus.messages import ABSTAIN, BDecision, FirstPayload, Vote

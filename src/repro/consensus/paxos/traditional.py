@@ -14,7 +14,7 @@ more rejection/retry cycle (roughly ``2δ``), and there can be
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from repro.consensus.base import ConsensusProcess, ProtocolBuilder
 from repro.consensus.quorum import ValueQuorum

@@ -8,7 +8,7 @@ added in one place.
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Dict, Iterable, Type
+from typing import Callable, Dict
 
 from repro.consensus.base import ProtocolBuilder
 from repro.errors import ConfigurationError

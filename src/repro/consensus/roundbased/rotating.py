@@ -30,7 +30,7 @@ coordinator crashed before stabilization burns a full round timeout
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.consensus.base import ConsensusProcess, ProtocolBuilder
 from repro.consensus.quorum import ValueQuorum

@@ -33,7 +33,7 @@ processes catch up within ``O(δ)``.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.consensus.base import ConsensusProcess, ProtocolBuilder
 from repro.consensus.quorum import ValueQuorum

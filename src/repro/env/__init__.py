@@ -1,0 +1,42 @@
+"""Declarative, composable run environments.
+
+The paper's subject is how the *environment* — adversarial pre-``TS``
+delivery, the stabilization time, crash/restart schedules — determines
+consensus latency.  This package makes the environment a first-class,
+serializable value: an :class:`EnvironmentSpec` bundles a synchrony spec, an
+adversary spec (optionally nested), and a fault-schedule spec, all plain
+data that round-trips through JSON; the
+:class:`~repro.env.registry.EnvironmentRegistry` names the available
+primitives and ready-made environments.  Workloads instantiate scenarios
+*from* specs instead of hand-building networks, and every
+:class:`~repro.consensus.values.RunOutcome` records the resolved spec so a
+result is reproducible from its own metadata.
+"""
+
+from repro.env.registry import (
+    AdversaryPrimitive,
+    EnvironmentRegistry,
+    FaultPrimitive,
+    NamedEnvironment,
+    default_environment_registry,
+)
+from repro.env.spec import (
+    AdversarySpec,
+    EnvironmentSpec,
+    FaultSpec,
+    PartitionDecl,
+    SynchronySpec,
+)
+
+__all__ = [
+    "AdversaryPrimitive",
+    "AdversarySpec",
+    "EnvironmentRegistry",
+    "EnvironmentSpec",
+    "FaultPrimitive",
+    "FaultSpec",
+    "NamedEnvironment",
+    "PartitionDecl",
+    "SynchronySpec",
+    "default_environment_registry",
+]

@@ -8,7 +8,7 @@ from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.sim.rng import SeededRng
 
-__all__ = ["crash_forever", "crash_before_stability", "staggered_restarts"]
+__all__ = ["churn_waves", "crash_forever", "crash_before_stability", "staggered_restarts"]
 
 
 def crash_forever(pids: Sequence[int], time: float) -> FaultPlan:
@@ -55,6 +55,57 @@ def crash_before_stability(
         if allow_recovery and rng.coin(0.5):
             restart_time = rng.uniform(min(crash_time + 0.01, 0.95 * ts), 0.95 * ts)
             plan.restart(pid, max(restart_time, crash_time + 0.01))
+    return plan
+
+
+def churn_waves(
+    victims: Sequence[int],
+    ts: float,
+    delta: float,
+    first_offset: float = 2.0,
+    up_time: float = 1.0,
+    down_time: float = 2.0,
+    waves: int = 3,
+    stagger: float = 0.5,
+    pre_ts_crash_fraction: float = 0.4,
+) -> FaultPlan:
+    """Repeated post-``TS`` restart waves over a fixed victim set.
+
+    Each victim crashes once before stabilization (at
+    ``pre_ts_crash_fraction * ts``) and is then churned through ``waves``
+    restart cycles after ``TS``: restart, stay up for ``up_time`` δ, crash
+    again, stay down for ``down_time`` δ, restart, ... ending *up* after the
+    final wave.  Victims are staggered by ``stagger`` δ so the waves ripple
+    through the fleet instead of firing in lock-step.  All offsets are in
+    units of ``delta``.
+
+    The post-``TS`` crashes step outside the paper's no-failures-after-``TS``
+    assumption, so plans built here must be validated with
+    ``allow_post_ts_crashes=True``; the caller keeps the model's one
+    non-negotiable invariant by churning at most a minority (a majority of
+    processes — the non-victims — stays up throughout).
+    """
+    if ts <= 0:
+        raise ConfigurationError("churn_waves needs ts > 0 (victims crash before TS)")
+    if delta <= 0:
+        raise ConfigurationError("churn_waves needs delta > 0")
+    if waves < 1:
+        raise ConfigurationError(f"churn_waves needs at least one wave, got {waves}")
+    if up_time <= 0 or down_time <= 0:
+        raise ConfigurationError("up_time and down_time must be positive (in delta units)")
+    if first_offset < 0 or stagger < 0:
+        raise ConfigurationError("first_offset and stagger must be non-negative")
+    if not 0.0 < pre_ts_crash_fraction < 1.0:
+        raise ConfigurationError("pre_ts_crash_fraction must be in (0, 1)")
+    plan = FaultPlan()
+    for index, pid in enumerate(victims):
+        plan.crash(pid, pre_ts_crash_fraction * ts)
+        when = ts + (first_offset + index * stagger) * delta
+        for wave in range(waves):
+            plan.restart(pid, when)
+            if wave + 1 < waves:
+                plan.crash(pid, when + up_time * delta)
+                when += (up_time + down_time) * delta
     return plan
 
 

@@ -155,6 +155,16 @@ class ResultRow:
             )
         return self.task.tags[key]
 
+    @property
+    def environment(self) -> Optional[Mapping[str, Any]]:
+        """The resolved environment spec this run executed under, as a dict.
+
+        Recorded by the runner for every environment-driven scenario;
+        ``EnvironmentSpec.from_dict(row.environment)`` rebuilds the spec, so
+        any row of a :class:`ResultSet` can be re-run from its own metadata.
+        """
+        return self.outcome.extra.get("environment")
+
 
 def lag_delta(row: ResultRow) -> Optional[float]:
     """Worst expected-decider decision lag after ``TS``, in delta units."""

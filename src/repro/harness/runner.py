@@ -57,6 +57,11 @@ class RunResult:
             for pid, record in sorted(self.simulator.decisions.items())
         ]
         stats = self.simulator.network.monitor.stats
+        extra: Dict[str, object] = {"events": self.simulator.events_processed}
+        if self.scenario.environment is not None:
+            # The resolved environment travels with the outcome, so a result
+            # row is reproducible from its own metadata alone.
+            extra["environment"] = self.scenario.environment.to_dict()
         return RunOutcome(
             protocol=self.protocol,
             n=config.n,
@@ -69,7 +74,7 @@ class RunResult:
             messages_sent=stats.sent,
             messages_delivered=stats.delivered,
             duration=self.simulator.now(),
-            extra={"events": self.simulator.events_processed},
+            extra=extra,
         )
 
 
@@ -127,7 +132,9 @@ def run_scenario(
     )
     builder.attach(simulator)
 
-    scenario.fault_plan.validate(config.n, ts=config.ts)
+    scenario.fault_plan.validate(
+        config.n, ts=config.ts, allow_post_ts_crashes=scenario.allow_post_ts_crashes
+    )
     scenario.fault_plan.apply(simulator)
     if scenario.post_setup is not None:
         scenario.post_setup(simulator)

@@ -14,8 +14,11 @@ The network realizes the communication model of the paper:
 
 from repro.net.adversary import (
     Adversary,
+    AsymmetricLinkAdversary,
     BenignAdversary,
+    DeferringPartitionAdversary,
     DropAllAdversary,
+    GrayPartitionAdversary,
     PartitionAdversary,
     RandomChaosAdversary,
     ScriptedAdversary,
@@ -25,15 +28,18 @@ from repro.net.message import Envelope, Era, Message
 from repro.net.monitor import NetworkMonitor
 from repro.net.network import Network
 from repro.net.partition import PartitionSpec, minority_groups
-from repro.net.synchrony import EventualSynchrony, SynchronyModel
+from repro.net.synchrony import EventualSynchrony, SynchronyModel, validate_delivery_time
 
 __all__ = [
     "Adversary",
+    "AsymmetricLinkAdversary",
     "BenignAdversary",
+    "DeferringPartitionAdversary",
     "DropAllAdversary",
     "Envelope",
     "Era",
     "EventualSynchrony",
+    "GrayPartitionAdversary",
     "Message",
     "minority_groups",
     "Network",
@@ -43,5 +49,6 @@ __all__ = [
     "RandomChaosAdversary",
     "ScriptedAdversary",
     "SynchronyModel",
+    "validate_delivery_time",
     "WorstCaseDelayAdversary",
 ]

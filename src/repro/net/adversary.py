@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.net.message import Envelope
@@ -26,8 +26,11 @@ from repro.sim.rng import SeededRng
 
 __all__ = [
     "Adversary",
+    "AsymmetricLinkAdversary",
     "BenignAdversary",
+    "DeferringPartitionAdversary",
     "DropAllAdversary",
+    "GrayPartitionAdversary",
     "RandomChaosAdversary",
     "PartitionAdversary",
     "ScriptedAdversary",
@@ -179,6 +182,162 @@ class PartitionAdversary(Adversary):
         return None
 
 
+class GrayPartitionAdversary(Adversary):
+    """A partial ("gray") partition that heals gradually before ``TS``.
+
+    Before ``heal_start * ts`` the partition is total: every cross-group
+    message is dropped.  From there the cross-group drop probability decays
+    linearly from ``start_drop`` to ``end_drop``, reaching ``end_drop`` at
+    ``TS`` — the network degrades from a hard partition to an increasingly
+    leaky one, the way real partitions heal link by link rather than all at
+    once.  Cross-group messages that survive take long delays (up to
+    ``leak_max_delay``); intra-group traffic behaves like a benign link.
+
+    Args:
+        spec: The partition grouping.
+        ts: Stabilization time (the heal deadline).
+        delta: Post-stabilization delivery bound (scales the delay ranges).
+        heal_start: Fraction of ``ts`` at which healing begins.
+        start_drop: Cross-group drop probability while the partition is total.
+        end_drop: Cross-group drop probability reached at ``TS``.
+        intra_delay_max: Upper delay bound for intra-group messages
+            (defaults to ``delta``).
+        leak_max_delay: Upper delay bound for surviving cross-group messages
+            (defaults to ``2 * delta``).
+    """
+
+    def __init__(
+        self,
+        spec: PartitionSpec,
+        ts: float,
+        delta: float,
+        heal_start: float = 0.4,
+        start_drop: float = 1.0,
+        end_drop: float = 0.0,
+        intra_delay_max: Optional[float] = None,
+        leak_max_delay: Optional[float] = None,
+    ) -> None:
+        if delta <= 0 or ts < 0:
+            raise ConfigurationError("GrayPartitionAdversary needs delta > 0 and ts >= 0")
+        if not 0.0 <= heal_start < 1.0:
+            raise ConfigurationError("heal_start must be in [0, 1)")
+        for name, prob in (("start_drop", start_drop), ("end_drop", end_drop)):
+            if not 0.0 <= prob <= 1.0:
+                raise ConfigurationError(f"{name} must be a probability, got {prob}")
+        if end_drop > start_drop:
+            raise ConfigurationError("a gray partition heals: end_drop must not exceed start_drop")
+        self.spec = spec
+        self.ts = ts
+        self.delta = delta
+        self.heal_start = heal_start
+        self.start_drop = start_drop
+        self.end_drop = end_drop
+        self.intra_delay_max = intra_delay_max if intra_delay_max is not None else delta
+        self.leak_max_delay = leak_max_delay if leak_max_delay is not None else 2.0 * delta
+
+    def drop_probability_at(self, now: float) -> float:
+        """Cross-group drop probability at real time ``now`` (monotone healing)."""
+        if self.ts <= 0:
+            return self.end_drop
+        heal_begin = self.heal_start * self.ts
+        if now <= heal_begin:
+            return self.start_drop
+        if now >= self.ts:
+            return self.end_drop
+        progress = (now - heal_begin) / (self.ts - heal_begin)
+        return self.start_drop + (self.end_drop - self.start_drop) * progress
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if self.spec.connected(envelope.src, envelope.dst):
+            return now + rng.delay(0.05 * self.delta, self.intra_delay_max)
+        if rng.coin(self.drop_probability_at(now)):
+            return None
+        return now + rng.delay(0.05 * self.delta, self.leak_max_delay)
+
+
+class AsymmetricLinkAdversary(Adversary):
+    """Per-link asymmetry: designated slow links crawl, every other link is prompt.
+
+    The paper's model constrains only the *worst* link after stabilization;
+    before ``TS`` nothing stops one direction of one link from being orders
+    of magnitude slower than the rest.  This adversary models exactly that:
+    links to and/or from a *hub* process (typically the post-``TS``
+    coordinator of a leader-based protocol) — or an explicit ``(src, dst)``
+    link list — are stretched to ``[delta, slow_factor * delta]`` before
+    stabilization, while all other links behave benignly.  After ``TS`` the
+    slow links take (almost) the full ``delta`` while fast links keep the
+    default uniform delays, so the asymmetry persists without ever violating
+    the bound.
+
+    Args:
+        delta: Post-stabilization delivery bound.
+        hub: Process id whose links are slow (per ``direction``).
+        direction: ``"to"``, ``"from"``, or ``"both"`` — which hub-adjacent
+            link directions are slow.  Ignored when ``links`` is given.
+        links: Explicit slow links as ``(src, dst)`` pairs (overrides hub).
+        slow_factor: Pre-``TS`` delays on slow links go up to
+            ``slow_factor * delta``.
+        fast_min_fraction: Lower delay bound on fast links, as a fraction of
+            ``delta`` (mirrors :class:`BenignAdversary`).
+        slow_post_ts: Whether slow links also take the full ``delta`` after
+            stabilization (clamped by the network either way).
+    """
+
+    _DIRECTIONS = ("to", "from", "both")
+
+    def __init__(
+        self,
+        delta: float,
+        hub: Optional[int] = None,
+        direction: str = "both",
+        links: Optional[Sequence[Tuple[int, int]]] = None,
+        slow_factor: float = 4.0,
+        fast_min_fraction: float = 0.1,
+        slow_post_ts: bool = True,
+    ) -> None:
+        if delta <= 0:
+            raise ConfigurationError("delta must be positive")
+        if slow_factor < 1.0:
+            raise ConfigurationError(f"slow_factor must be >= 1, got {slow_factor}")
+        if not 0.0 <= fast_min_fraction <= 1.0:
+            raise ConfigurationError("fast_min_fraction must be in [0, 1]")
+        if direction not in self._DIRECTIONS:
+            raise ConfigurationError(
+                f"direction must be one of {self._DIRECTIONS}, got {direction!r}"
+            )
+        if hub is None and links is None:
+            raise ConfigurationError("AsymmetricLinkAdversary needs a hub or explicit links")
+        self.delta = delta
+        self.hub = hub
+        self.direction = direction
+        self.links = frozenset((int(src), int(dst)) for src, dst in links) if links else None
+        self.slow_factor = slow_factor
+        self.fast_min_fraction = fast_min_fraction
+        self.slow_post_ts = slow_post_ts
+
+    def is_slow(self, src: int, dst: int) -> bool:
+        """Whether the ``src -> dst`` link is one of the slow ones."""
+        if src == dst:
+            return False
+        if self.links is not None:
+            return (src, dst) in self.links
+        if self.direction == "to":
+            return dst == self.hub
+        if self.direction == "from":
+            return src == self.hub
+        return src == self.hub or dst == self.hub
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if self.is_slow(envelope.src, envelope.dst):
+            return now + rng.delay(self.delta, self.slow_factor * self.delta)
+        return now + rng.delay(self.fast_min_fraction * self.delta, self.delta)
+
+    def post_ts_delay(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if self.slow_post_ts and self.is_slow(envelope.src, envelope.dst):
+            return self.delta
+        return None
+
+
 class WorstCaseDelayAdversary(Adversary):
     """Stretches every post-stabilization delivery to (almost) exactly ``δ``.
 
@@ -220,6 +379,55 @@ class WorstCaseDelayAdversary(Adversary):
 
     def duplicate_probability(self, envelope: Envelope, now: float) -> float:
         return self.pre_ts.duplicate_probability(envelope, now)
+
+
+class DeferringPartitionAdversary(Adversary):
+    """Partition adversary whose cross-partition leaks arrive *after* ``TS``.
+
+    This manufactures the "obsolete message" hazard organically: messages a
+    protocol legitimately sent before stabilization resurface afterwards, at
+    adversary-chosen times, exactly as Sections 2–4 of the paper allow.
+    Intra-group traffic is delegated to the inner partition-shaped adversary
+    — any adversary exposing a ``spec`` :class:`PartitionSpec` works, so
+    hard (:class:`PartitionAdversary`) and gray
+    (:class:`GrayPartitionAdversary`) partitions compose equally.
+    """
+
+    def __init__(
+        self,
+        inner: Adversary,
+        ts: float,
+        delta: float,
+        defer_probability: float,
+        max_defer: float,
+        duplicate_prob: float,
+    ) -> None:
+        if not 0.0 <= defer_probability <= 1.0 or not 0.0 <= duplicate_prob <= 1.0:
+            raise ConfigurationError("defer_probability and duplicate_prob must be probabilities")
+        if ts < 0 or delta <= 0 or max_defer < 0:
+            raise ConfigurationError("invalid DeferringPartitionAdversary parameters")
+        if not isinstance(getattr(inner, "spec", None), PartitionSpec):
+            raise ConfigurationError(
+                "DeferringPartitionAdversary wraps a partition-shaped adversary "
+                "(one exposing a PartitionSpec via .spec); got "
+                f"{type(inner).__name__ if inner is not None else None}"
+            )
+        self.inner = inner
+        self.ts = ts
+        self.delta = delta
+        self.defer_probability = defer_probability
+        self.max_defer = max_defer
+        self.duplicate_prob = duplicate_prob
+
+    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
+        if not self.inner.spec.connected(envelope.src, envelope.dst):
+            if rng.coin(self.defer_probability):
+                return self.ts + rng.delay(0.0, self.max_defer)
+            return None
+        return self.inner.pre_ts_fate(envelope, now, rng)
+
+    def duplicate_probability(self, envelope: Envelope, now: float) -> float:
+        return self.duplicate_prob
 
 
 @dataclass

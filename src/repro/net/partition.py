@@ -11,7 +11,7 @@ that nothing is decided before the stabilization time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import SeededRng

@@ -17,7 +17,27 @@ from repro.net.adversary import Adversary, BenignAdversary
 from repro.net.message import Envelope, Era
 from repro.sim.rng import SeededRng
 
-__all__ = ["SynchronyModel", "EventualSynchrony"]
+__all__ = ["SynchronyModel", "EventualSynchrony", "validate_delivery_time"]
+
+
+def validate_delivery_time(envelope: Envelope, when: Optional[float], now: float) -> Optional[float]:
+    """Guard against an adversary scheduling a delivery in the past.
+
+    Shared by every synchrony model (and usable by adversary implementations
+    directly): a scripted or hand-written adversary that mis-computes a
+    delivery time would otherwise surface as an unexplained scheduling error
+    deep inside the event queue.  The error names the offending envelope so
+    the buggy script is diagnosable from the message alone.
+
+    Returns ``when`` unchanged when it is valid (or ``None`` for a drop).
+    """
+    if when is not None and when < now:
+        raise ConfigurationError(
+            f"adversary scheduled delivery in the past ({when:g} < now {now:g}) "
+            f"for msg #{envelope.msg_id} ({envelope.kind}) "
+            f"p{envelope.src}->p{envelope.dst} sent at {envelope.send_time:g}"
+        )
+    return when
 
 
 class SynchronyModel(abc.ABC):
@@ -81,11 +101,7 @@ class EventualSynchrony(SynchronyModel):
     def fate(self, envelope: Envelope, now: float, rng: SeededRng) -> Optional[float]:
         if envelope.era is Era.PRE:
             when = self.adversary.pre_ts_fate(envelope, now, rng)
-            if when is not None and when < now:
-                raise ConfigurationError(
-                    f"adversary scheduled delivery in the past ({when} < {now})"
-                )
-            return when
+            return validate_delivery_time(envelope, when, now)
         low, high = self.post_delay_bounds()
         suggested = self.adversary.post_ts_delay(envelope, now, rng)
         if suggested is None:

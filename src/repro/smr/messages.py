@@ -16,7 +16,7 @@ promised ballot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
 from repro.net.message import Message

@@ -12,7 +12,7 @@ carrying that command id stops it for that replica.  Two latencies matter:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.errors import AgreementViolation
 from repro.sim.simulator import Simulator

@@ -91,7 +91,9 @@ def run_smr(
         initial_values=scenario.initial_values,
     )
     builder.attach(simulator)
-    scenario.fault_plan.validate(config.n, ts=config.ts)
+    scenario.fault_plan.validate(
+        config.n, ts=config.ts, allow_post_ts_crashes=scenario.allow_post_ts_crashes
+    )
     scenario.fault_plan.apply(simulator)
     if scenario.post_setup is not None:
         scenario.post_setup(simulator)

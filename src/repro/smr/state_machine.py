@@ -15,7 +15,7 @@ tests assert.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import ProtocolError
 

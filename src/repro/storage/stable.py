@@ -11,7 +11,7 @@ place would defeat the crash model, so writes deep-copy by default.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator
 
 from repro.errors import StorageError
 

@@ -10,6 +10,13 @@ messages), and which processes are expected to decide.
 from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
 from repro.workloads.composite import kitchen_sink_scenario
 from repro.workloads.coordinator_faults import coordinator_crash_scenario
+from repro.workloads.environments import (
+    asymmetric_link_scenario,
+    churn_scenario,
+    environment_scenario,
+    gray_partition_scenario,
+    resolve_environment,
+)
 from repro.workloads.obsolete import obsolete_ballot_scenario
 from repro.workloads.registry import (
     ScenarioRegistry,
@@ -25,13 +32,18 @@ __all__ = [
     "Scenario",
     "ScenarioRegistry",
     "WorkloadSpec",
+    "asymmetric_link_scenario",
+    "churn_scenario",
     "coordinator_crash_scenario",
     "default_workload_registry",
+    "environment_scenario",
+    "gray_partition_scenario",
     "register_workload",
     "kitchen_sink_scenario",
     "lossy_chaos_scenario",
     "obsolete_ballot_scenario",
     "partitioned_chaos_scenario",
+    "resolve_environment",
     "restart_after_stability_scenario",
     "stable_scenario",
 ]

@@ -14,23 +14,19 @@ Two flavours are provided:
 * :func:`lossy_chaos_scenario` uses independent random loss/delay/deferral
   per message, which is messier but statistically may let a protocol decide
   before ``TS`` on lucky seeds.
+
+Both are thin wrappers around the identically named environments in the
+:class:`~repro.env.registry.EnvironmentRegistry` — the registry factory is
+the single definition of each environment; the workload only adds the run
+configuration (``n``, ``ts``, horizon, seed).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.faults.schedules import crash_before_stability
-from repro.net.adversary import (
-    PartitionAdversary,
-    RandomChaosAdversary,
-    WorstCaseDelayAdversary,
-)
-from repro.net.network import Network
-from repro.net.partition import minority_groups
-from repro.net.synchrony import EventualSynchrony
+from repro.env.registry import default_environment_registry
 from repro.params import TimingParams
-from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
 from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
@@ -81,32 +77,18 @@ def partitioned_chaos_scenario(
     ts = ts if ts is not None else 10.0 * params.delta
     config = _config(n, params, ts, seed, max_time)
 
-    plan_rng = SeededRng(seed, label="chaos-faults")
-    fault_plan = (
-        crash_before_stability(n, ts, plan_rng, allow_recovery=True)
-        if with_crashes and n >= 3
-        else crash_before_stability(n, ts, plan_rng, max_faulty=0)
+    environment = default_environment_registry().environment(
+        "partitioned-chaos",
+        leak_probability=leak_probability,
+        worst_case_post_delays=worst_case_post_delays,
+        with_crashes=with_crashes and n >= 3,
     )
-
-    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
-        spec = minority_groups(cfg.n, rng.fork("partition"))
-        adversary = PartitionAdversary(
-            spec=spec,
-            delta=cfg.params.delta,
-            leak_probability=leak_probability,
-            leak_max_delay=cfg.ts + 2.0 * cfg.params.delta,
-        )
-        if worst_case_post_delays:
-            adversary = WorstCaseDelayAdversary(delta=cfg.params.delta, pre_ts=adversary)
-        model = EventualSynchrony(ts=cfg.ts, delta=cfg.params.delta, adversary=adversary)
-        return Network(model=model, rng=rng)
 
     suffix = "-worstdelay" if worst_case_post_delays else ""
     return Scenario(
         name=f"partitioned-chaos-n{n}{suffix}",
         config=config,
-        build_network=build_network,
-        fault_plan=fault_plan,
+        environment=environment,
         notes=(
             "pre-TS: minority partitions (no quorum can form), occasional leaked "
             "messages with long delays, crashes and some restarts; post-TS: "
@@ -139,31 +121,17 @@ def lossy_chaos_scenario(
     ts = ts if ts is not None else 10.0 * params.delta
     config = _config(n, params, ts, seed, max_time)
 
-    plan_rng = SeededRng(seed, label="chaos-faults")
-    fault_plan = (
-        crash_before_stability(n, ts, plan_rng, allow_recovery=True)
-        if with_crashes and n >= 3
-        else crash_before_stability(n, ts, plan_rng, max_faulty=0)
+    environment = default_environment_registry().environment(
+        "lossy-chaos",
+        drop_probability=drop_probability,
+        defer_probability=defer_probability,
+        with_crashes=with_crashes and n >= 3,
     )
-
-    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
-        adversary = RandomChaosAdversary(
-            ts=cfg.ts,
-            delta=cfg.params.delta,
-            drop_probability=drop_probability,
-            defer_probability=defer_probability,
-            max_defer=5.0 * cfg.params.delta,
-            max_delay_factor=4.0,
-            duplicate_prob=0.05,
-        )
-        model = EventualSynchrony(ts=cfg.ts, delta=cfg.params.delta, adversary=adversary)
-        return Network(model=model, rng=rng)
 
     return Scenario(
         name=f"lossy-chaos-n{n}",
         config=config,
-        build_network=build_network,
-        fault_plan=fault_plan,
+        environment=environment,
         notes=(
             "pre-TS: random loss/delay/deferral/duplication, crashes and some restarts; "
             "post-TS: synchronous"

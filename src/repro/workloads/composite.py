@@ -7,58 +7,24 @@ pre-``TS`` restarts.  After stabilization: every delivery takes the full
 This is the closest the test suite gets to a genuinely worst-case execution
 while staying inside the model's assumptions, and is used by the stress
 integration tests and as a harder variant of experiment E1.
+
+The adversary is a three-deep spec chain — ``worst-case-delay`` wrapping
+``deferring-partition`` wrapping ``partition`` — which is exactly the kind
+of composition the environment layer exists for.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.env.spec import AdversarySpec, EnvironmentSpec, FaultSpec
 from repro.errors import ConfigurationError
-from repro.faults.plan import FaultPlan
-from repro.net.adversary import (
-    Adversary,
-    PartitionAdversary,
-    WorstCaseDelayAdversary,
-)
-from repro.net.message import Envelope
-from repro.net.network import Network
-from repro.net.partition import minority_groups
-from repro.net.synchrony import EventualSynchrony
 from repro.params import TimingParams
-from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
 from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
 
 __all__ = ["kitchen_sink_scenario"]
-
-
-class _DeferringPartitionAdversary(Adversary):
-    """Partition adversary whose cross-partition leaks arrive *after* ``TS``.
-
-    This manufactures the "obsolete message" hazard organically: messages a
-    protocol legitimately sent before stabilization resurface afterwards, at
-    adversary-chosen times, exactly as Sections 2–4 of the paper allow.
-    """
-
-    def __init__(self, inner: PartitionAdversary, ts: float, delta: float,
-                 defer_probability: float, max_defer: float, duplicate_prob: float) -> None:
-        self.inner = inner
-        self.ts = ts
-        self.delta = delta
-        self.defer_probability = defer_probability
-        self.max_defer = max_defer
-        self.duplicate_prob = duplicate_prob
-
-    def pre_ts_fate(self, envelope: Envelope, now: float, rng: SeededRng):
-        if not self.inner.spec.connected(envelope.src, envelope.dst):
-            if rng.coin(self.defer_probability):
-                return self.ts + rng.delay(0.0, self.max_defer)
-            return None
-        return self.inner.pre_ts_fate(envelope, now, rng)
-
-    def duplicate_probability(self, envelope: Envelope, now: float) -> float:
-        return self.duplicate_prob
 
 
 @register_workload(
@@ -91,38 +57,41 @@ def kitchen_sink_scenario(
 
     majority = n // 2 + 1
     max_faulty = n - majority
-    fault_plan = FaultPlan()
     victims = list(range(n - max_faulty, n))
+    events = []
     for index, victim in enumerate(victims):
-        fault_plan.crash(victim, 0.2 * ts + 0.05 * index * ts)
+        events.append({"time": 0.2 * ts + 0.05 * index * ts, "pid": victim, "kind": "crash"})
         if index == 0:
             # The first victim comes back before stabilization ...
-            fault_plan.restart(victim, 0.8 * ts)
+            events.append({"time": 0.8 * ts, "pid": victim, "kind": "restart"})
         elif index == 1:
             # ... the second only well after it ...
-            fault_plan.restart(victim, ts + late_restart_offset * delta)
+            events.append(
+                {"time": ts + late_restart_offset * delta, "pid": victim, "kind": "restart"}
+            )
         # ... and any further victims stay down forever (majority remains up).
 
-    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
-        spec = minority_groups(cfg.n, rng.fork("partition"))
-        partition = PartitionAdversary(spec=spec, delta=cfg.params.delta)
-        deferring = _DeferringPartitionAdversary(
-            inner=partition,
-            ts=cfg.ts,
-            delta=cfg.params.delta,
-            defer_probability=defer_probability,
-            max_defer=3.0 * cfg.params.delta,
-            duplicate_prob=duplicate_prob,
-        )
-        worst = WorstCaseDelayAdversary(delta=cfg.params.delta, pre_ts=deferring)
-        model = EventualSynchrony(ts=cfg.ts, delta=cfg.params.delta, adversary=worst)
-        return Network(model=model, rng=rng)
+    environment = EnvironmentSpec(
+        name="kitchen-sink",
+        adversary=AdversarySpec(
+            "worst-case-delay",
+            inner=AdversarySpec(
+                "deferring-partition",
+                {
+                    "defer_probability": defer_probability,
+                    "max_defer_delta": 3.0,
+                    "duplicate_prob": duplicate_prob,
+                },
+                inner=AdversarySpec("partition", {"partition": {"mode": "minority"}}),
+            ),
+        ),
+        faults=FaultSpec("explicit", {"events": events}),
+    )
 
     return Scenario(
         name=f"kitchen-sink-n{n}",
         config=config,
-        build_network=build_network,
-        fault_plan=fault_plan,
+        environment=environment,
         notes=(
             "pre-TS: minority partitions, cross-partition messages lost or deferred past TS, "
             "duplication, crashes with one pre-TS restart; post-TS: full-delta deliveries and "

@@ -11,13 +11,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.env.spec import AdversarySpec, EnvironmentSpec, FaultSpec
 from repro.errors import ConfigurationError
-from repro.faults.plan import FaultPlan
-from repro.net.adversary import DropAllAdversary
-from repro.net.network import Network
-from repro.net.synchrony import EventualSynchrony
 from repro.params import TimingParams
-from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
 from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
@@ -58,22 +54,21 @@ def coordinator_crash_scenario(
     horizon = max_time if max_time is not None else ts + (8.0 * f + 80.0) * delta
     config = SimulationConfig(n=n, params=params, ts=ts, seed=seed, max_time=horizon)
 
-    fault_plan = FaultPlan()
-    for pid in range(f):
-        fault_plan.crash(pid, 0.25 * ts)
-
-    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
-        model = EventualSynchrony(
-            ts=cfg.ts, delta=cfg.params.delta, adversary=DropAllAdversary()
-        )
-        return Network(model=model, rng=rng)
+    environment = EnvironmentSpec(
+        name="coordinator-crash",
+        adversary=AdversarySpec("drop-all"),
+        faults=(
+            FaultSpec("crash-forever", {"pids": list(range(f)), "time": 0.25 * ts})
+            if f > 0
+            else FaultSpec("none")
+        ),
+    )
 
     survivors = list(range(f, n))
     return Scenario(
         name=f"coordinator-crash-n{n}-f{f}",
         config=config,
-        build_network=build_network,
-        fault_plan=fault_plan,
+        environment=environment,
         expected_deciders=survivors,
         notes=f"coordinators of rounds 0..{f - 1} crashed before TS; pre-TS messages all lost",
     )

@@ -33,13 +33,9 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.messages import Phase1a
+from repro.env.spec import AdversarySpec, EnvironmentSpec, FaultSpec
 from repro.errors import ConfigurationError
-from repro.faults.plan import FaultPlan
-from repro.net.adversary import DropAllAdversary
-from repro.net.network import Network
-from repro.net.synchrony import EventualSynchrony
 from repro.params import TimingParams
-from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workloads.scenario import Scenario
 
@@ -184,15 +180,15 @@ def obsolete_ballot_scenario(
     horizon = max_time if max_time is not None else ts + (6.0 * k + 80.0) * delta
     config = SimulationConfig(n=n, params=params, ts=ts, seed=seed, max_time=horizon)
 
-    fault_plan = FaultPlan()
-    for victim in victims:
-        fault_plan.crash(victim, 0.25 * ts)
-
-    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
-        model = EventualSynchrony(
-            ts=cfg.ts, delta=cfg.params.delta, adversary=DropAllAdversary()
-        )
-        return Network(model=model, rng=rng)
+    environment = EnvironmentSpec(
+        name="obsolete-ballots",
+        adversary=AdversarySpec("drop-all"),
+        faults=(
+            FaultSpec("crash-forever", {"pids": list(victims), "time": 0.25 * ts})
+            if victims
+            else FaultSpec("none")
+        ),
+    )
 
     survivors = [pid for pid in range(n) if pid not in victims]
     post_ts_leader = min(survivors)
@@ -213,8 +209,7 @@ def obsolete_ballot_scenario(
     return Scenario(
         name=f"obsolete-ballots-n{n}-k{k}",
         config=config,
-        build_network=build_network,
-        fault_plan=fault_plan,
+        environment=environment,
         post_setup=post_setup,
         expected_deciders=survivors,
         notes=(

@@ -185,6 +185,7 @@ def default_workload_registry() -> ScenarioRegistry:
     import repro.workloads.chaos  # noqa: F401
     import repro.workloads.composite  # noqa: F401
     import repro.workloads.coordinator_faults  # noqa: F401
+    import repro.workloads.environments  # noqa: F401
     import repro.workloads.obsolete  # noqa: F401
     import repro.workloads.restarts  # noqa: F401
     import repro.workloads.stable  # noqa: F401

@@ -13,14 +13,9 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.env.spec import AdversarySpec, EnvironmentSpec, FaultSpec
 from repro.errors import ConfigurationError
-from repro.faults.plan import FaultPlan
-from repro.net.adversary import PartitionAdversary
-from repro.net.network import Network
-from repro.net.partition import minority_groups
-from repro.net.synchrony import EventualSynchrony
 from repro.params import TimingParams
-from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
 from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
@@ -69,22 +64,21 @@ def restart_after_stability_scenario(
     horizon = max_time if max_time is not None else ts + (max(offsets) + 100.0) * delta
     config = SimulationConfig(n=n, params=params, ts=ts, seed=seed, max_time=horizon)
 
-    fault_plan = FaultPlan()
+    events = []
     for victim, offset in zip(victims, offsets):
-        fault_plan.crash(victim, 0.25 * ts)
-        fault_plan.restart(victim, ts + offset * delta)
+        events.append({"time": 0.25 * ts, "pid": victim, "kind": "crash"})
+        events.append({"time": ts + offset * delta, "pid": victim, "kind": "restart"})
 
-    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
-        spec = minority_groups(cfg.n, rng.fork("partition"))
-        adversary = PartitionAdversary(spec=spec, delta=cfg.params.delta)
-        model = EventualSynchrony(ts=cfg.ts, delta=cfg.params.delta, adversary=adversary)
-        return Network(model=model, rng=rng)
+    environment = EnvironmentSpec(
+        name="restarts",
+        adversary=AdversarySpec("partition", {"partition": {"mode": "minority"}}),
+        faults=FaultSpec("explicit", {"events": events}),
+    )
 
     return Scenario(
         name=f"restart-after-ts-n{n}",
         config=config,
-        build_network=build_network,
-        fault_plan=fault_plan,
+        environment=environment,
         notes=(
             "processes "
             + ", ".join(f"p{pid}" for pid in victims)

@@ -2,13 +2,18 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
+from repro.env.spec import EnvironmentSpec
+from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
 from repro.net.network import Network
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig, Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.env.registry import EnvironmentRegistry
 
 __all__ = ["Scenario"]
 
@@ -20,29 +25,71 @@ PostSetupHook = Callable[[Simulator], None]
 class Scenario:
     """Everything one simulation run needs, minus the protocol.
 
+    A scenario is normally built from a declarative
+    :class:`~repro.env.spec.EnvironmentSpec`: the environment supplies both
+    the network factory and the fault plan, and is recorded in every
+    :class:`~repro.consensus.values.RunOutcome` so results are reproducible
+    from their own metadata.  Passing an explicit ``build_network`` closure
+    (and/or ``fault_plan``) remains supported as a thin back-compat adapter
+    for ad-hoc networks that have no declarative form; explicit values win
+    over the environment's.
+
     Attributes:
         name: Short identifier used in tables and traces.
         config: The simulation configuration (n, timing constants, ts, seed).
+        environment: Declarative environment the run instantiates (preferred).
+        environment_registry: Registry resolving the environment's adversary
+            and fault kinds; None uses the default registry.  Pass a custom
+            registry when the spec uses user-registered primitives.
         build_network: Builds the network (synchrony model + adversary) for a
-            given configuration and randomness stream.
-        fault_plan: Crash/restart schedule (validated against the config).
+            given configuration and randomness stream; derived from
+            ``environment`` when not given.
+        fault_plan: Crash/restart schedule (validated against the config);
+            derived from ``environment`` when not given.
         initial_values: Proposals per process; None lets the simulator use
             its defaults (distinct per-process values).
         post_setup: Optional hook run after the simulator is built but before
             it starts — used to inject in-flight pre-``TS`` messages.
         expected_deciders: Pids expected to decide; None means every process
             that is not left permanently crashed by the fault plan.
+        allow_post_ts_crashes: Relax the paper's no-failures-after-``TS``
+            assumption when validating the fault plan (set automatically for
+            churn environments).
         notes: Free-form description used in reports.
     """
 
     name: str
     config: SimulationConfig
-    build_network: NetworkFactory
-    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    build_network: Optional[NetworkFactory] = None
+    environment: Optional[EnvironmentSpec] = None
+    environment_registry: Optional["EnvironmentRegistry"] = None
+    fault_plan: Optional[FaultPlan] = None
     initial_values: Optional[List[Any]] = None
     post_setup: Optional[PostSetupHook] = None
     expected_deciders: Optional[List[int]] = None
+    allow_post_ts_crashes: bool = False
     notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.environment is not None:
+            environment, registry = self.environment, self.environment_registry
+            if self.build_network is None:
+                if registry is None:
+                    self.build_network = environment.build_network
+                else:
+                    self.build_network = (
+                        lambda config, rng: environment.build_network(config, rng, registry)
+                    )
+            if self.fault_plan is None:
+                self.fault_plan = environment.build_fault_plan(self.config, registry)
+            if environment.allows_post_ts_crashes(registry):
+                self.allow_post_ts_crashes = True
+        if self.build_network is None:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs an environment or a build_network factory"
+            )
+        if self.fault_plan is None:
+            self.fault_plan = FaultPlan()
 
     def deciders(self) -> List[int]:
         """Pids expected to decide in this scenario."""
@@ -57,6 +104,8 @@ class Scenario:
             f"seed={self.config.seed} ({self.config.params.describe()})",
             f"  faults: {self.fault_plan.describe()}",
         ]
+        if self.environment is not None:
+            lines.append(f"  environment: {self.environment.describe()}")
         if self.notes:
             lines.append(f"  notes: {self.notes}")
         return "\n".join(lines)

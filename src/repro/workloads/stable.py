@@ -9,11 +9,8 @@ from __future__ import annotations
 
 from typing import Any, List, Optional
 
-from repro.net.adversary import BenignAdversary
-from repro.net.network import Network
-from repro.net.synchrony import EventualSynchrony
+from repro.env.registry import default_environment_registry
 from repro.params import TimingParams
-from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig
 from repro.workloads.registry import register_workload
 from repro.workloads.scenario import Scenario
@@ -46,16 +43,12 @@ def stable_scenario(
         max_time=max_time if max_time is not None else 200.0 * params.delta,
     )
 
-    def build_network(cfg: SimulationConfig, rng: SeededRng) -> Network:
-        model = EventualSynchrony(
-            ts=cfg.ts, delta=cfg.params.delta, adversary=BenignAdversary(cfg.params.delta)
-        )
-        return Network(model=model, rng=rng)
+    environment = default_environment_registry().environment("stable")
 
     return Scenario(
         name=f"stable-n{n}",
         config=config,
-        build_network=build_network,
+        environment=environment,
         initial_values=initial_values,
         notes="synchronous from t=0, no faults: failure-free fast path",
     )

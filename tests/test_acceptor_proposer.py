@@ -1,10 +1,7 @@
 """Unit tests for the Paxos acceptor and proposer roles (`repro.consensus.paxos`)."""
 
-import pytest
-
 from repro.consensus.paxos.acceptor import AcceptOutcome, AcceptorState, PrepareOutcome
 from repro.consensus.paxos.proposer import ProposerAttempt, ProposerState
-from repro.errors import ProtocolError
 
 
 class TestAcceptorPrepare:

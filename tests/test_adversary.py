@@ -165,3 +165,137 @@ class TestScriptedAdversary:
         )
         when = adversary.pre_ts_fate(make_envelope(send_time=3.0), 3.0, SeededRng(1))
         assert when is not None and 3.0 < when <= 4.0
+
+    def test_exhausted_script_falls_through_to_fallback(self):
+        # A finite script that hands out two delivery times and then runs
+        # dry: the exhausted script must keep answering (with PASS), and the
+        # fallback takes over for the rest of the run.
+        fates = [5.0, 6.0]
+
+        def script(envelope, now, rng):
+            if fates:
+                return fates.pop(0)
+            return ScriptedAdversary.PASS
+
+        adversary = ScriptedAdversary(script=script)  # fallback drops everything
+        rng = SeededRng(2)
+        assert adversary.pre_ts_fate(make_envelope(), 1.0, rng) == 5.0
+        assert adversary.pre_ts_fate(make_envelope(), 1.0, rng) == 6.0
+        for _ in range(5):  # exhausted: DropAll fallback from here on
+            assert adversary.pre_ts_fate(make_envelope(), 1.0, rng) is None
+
+    def test_buggy_script_is_diagnosable_mid_run(self):
+        # A script that schedules delivery in the past surfaces through the
+        # shared validation helper with the envelope named in the message.
+        from repro.errors import ConfigurationError
+        from repro.net.synchrony import EventualSynchrony
+
+        model = EventualSynchrony(
+            ts=10.0, delta=1.0, adversary=ScriptedAdversary(script=lambda e, now, rng: now - 1.0)
+        )
+        envelope = make_envelope(src=2, dst=4, send_time=3.0)
+        with pytest.raises(ConfigurationError) as exc_info:
+            model.fate(envelope, 3.0, SeededRng(0))
+        message = str(exc_info.value)
+        assert "p2->p4" in message
+        assert f"#{envelope.msg_id}" in message
+        assert "sent at 3" in message
+
+
+class TestWorstCaseDelayAtExactlyTs:
+    def test_message_sent_at_exactly_ts_is_post_era_and_bounded(self):
+        from repro.net.adversary import WorstCaseDelayAdversary
+        from repro.net.synchrony import EventualSynchrony
+
+        ts, delta = 10.0, 2.0
+        model = EventualSynchrony(
+            ts=ts, delta=delta, adversary=WorstCaseDelayAdversary(delta=delta, jitter=0.0)
+        )
+        # The boundary send belongs to the post-stabilization era ...
+        assert model.era(ts) is Era.POST
+        envelope = Envelope(
+            message=Phase1a(mbal=0), src=0, dst=1, send_time=ts, era=model.era(ts)
+        )
+        when = model.fate(envelope, ts, SeededRng(0))
+        # ... so the adversary's stretch is clamped to exactly delta: the
+        # bound holds from the very first post-TS instant.
+        assert when == ts + delta
+
+    def test_just_before_ts_is_still_adversarial(self):
+        from repro.net.adversary import WorstCaseDelayAdversary
+        from repro.net.synchrony import EventualSynchrony
+
+        ts, delta = 10.0, 2.0
+        model = EventualSynchrony(ts=ts, delta=delta, adversary=WorstCaseDelayAdversary(delta))
+        before = ts - 1e-9
+        assert model.era(before) is Era.PRE
+        envelope = make_envelope(send_time=before)
+        assert model.fate(envelope, before, SeededRng(0)) is None  # pre-TS default drops
+
+
+class TestHealedPartition:
+    def test_process_cannot_sit_on_both_sides(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="two partition groups"):
+            PartitionSpec.of([[0, 1], [1, 2]])
+
+    def test_healed_gray_partition_connects_across_old_boundary(self):
+        from repro.net.adversary import GrayPartitionAdversary
+
+        spec = PartitionSpec.of([[0, 1], [2, 3]])
+        adversary = GrayPartitionAdversary(
+            spec=spec, ts=10.0, delta=1.0, heal_start=0.2, end_drop=0.0
+        )
+        rng = SeededRng(3)
+        # While the partition is total, a process sees only its own side.
+        early = [adversary.pre_ts_fate(make_envelope(src=0, dst=2, send_time=1.0), 1.0, rng)
+                 for _ in range(20)]
+        assert all(when is None for when in early)
+        # Once healed, the same cross-boundary link delivers: the process
+        # that was cut off from group 1 now talks to both sides.
+        healed = [adversary.pre_ts_fate(make_envelope(src=0, dst=2, send_time=9.999), 9.999, rng)
+                  for _ in range(20)]
+        assert all(when is not None for when in healed)
+        intra = adversary.pre_ts_fate(make_envelope(src=0, dst=1, send_time=9.999), 9.999, rng)
+        assert intra is not None
+
+    def test_gray_partition_validation(self):
+        from repro.errors import ConfigurationError
+        from repro.net.adversary import GrayPartitionAdversary
+
+        spec = PartitionSpec.of([[0], [1]])
+        with pytest.raises(ConfigurationError):
+            GrayPartitionAdversary(spec=spec, ts=10.0, delta=0.0)
+        with pytest.raises(ConfigurationError):
+            GrayPartitionAdversary(spec=spec, ts=10.0, delta=1.0, heal_start=1.5)
+        with pytest.raises(ConfigurationError, match="heals"):
+            GrayPartitionAdversary(spec=spec, ts=10.0, delta=1.0, start_drop=0.2, end_drop=0.9)
+
+
+class TestAsymmetricLinkValidation:
+    def test_requires_hub_or_links(self):
+        from repro.errors import ConfigurationError
+        from repro.net.adversary import AsymmetricLinkAdversary
+
+        with pytest.raises(ConfigurationError, match="hub or explicit links"):
+            AsymmetricLinkAdversary(delta=1.0)
+        with pytest.raises(ConfigurationError, match="direction"):
+            AsymmetricLinkAdversary(delta=1.0, hub=0, direction="sideways")
+        with pytest.raises(ConfigurationError, match="slow_factor"):
+            AsymmetricLinkAdversary(delta=1.0, hub=0, slow_factor=0.5)
+
+    def test_explicit_links_override_hub(self):
+        from repro.net.adversary import AsymmetricLinkAdversary
+
+        adversary = AsymmetricLinkAdversary(delta=1.0, hub=0, links=[(1, 2)])
+        assert adversary.is_slow(1, 2)
+        assert not adversary.is_slow(0, 1)  # hub ignored when links given
+
+    def test_directionality(self):
+        from repro.net.adversary import AsymmetricLinkAdversary
+
+        to_hub = AsymmetricLinkAdversary(delta=1.0, hub=0, direction="to")
+        assert to_hub.is_slow(3, 0) and not to_hub.is_slow(0, 3)
+        from_hub = AsymmetricLinkAdversary(delta=1.0, hub=0, direction="from")
+        assert from_hub.is_slow(0, 3) and not from_hub.is_slow(3, 0)

@@ -6,11 +6,10 @@ the safety arguments of the rotating-coordinator algorithm and of the
 B-Consensus reconstruction actually hinge on.
 """
 
-import pytest
 
 from repro.consensus.bconsensus.messages import ABSTAIN, Vote
 from repro.consensus.bconsensus.modified import ModifiedBConsensusProcess
-from repro.consensus.roundbased.messages import Ack, Propose, StartRound
+from repro.consensus.roundbased.messages import Ack
 from repro.consensus.roundbased.rotating import RotatingCoordinatorProcess
 
 from tests.helpers import ScriptedCluster

@@ -48,6 +48,10 @@ class TestCliParser:
             "coordinator-crash",
             "restarts",
             "kitchen-sink",
+            "environment",
+            "asymmetric-link",
+            "gray-partition",
+            "churn",
         }
 
     def test_parser_requires_subcommand(self):
@@ -57,8 +61,18 @@ class TestCliParser:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["run"])
         assert args.protocol == "modified-paxos"
-        assert args.workload == "partitioned-chaos"
+        # --workload defaults to None at the parser level so an explicit
+        # flag can be detected when it conflicts with --env; _command_run
+        # falls back to partitioned-chaos.
+        assert args.workload is None
+        assert args.env is None
         assert args.n == 7
+
+    def test_workload_and_env_are_mutually_exclusive(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "--workload", "stable", "--env", "drop-all", "--n", "3"]) == 2
+        assert "not both" in capsys.readouterr().out
 
 
 class TestCliCommands:

@@ -9,7 +9,6 @@ from repro.consensus.values import DecisionOutcome, RunOutcome
 from repro.errors import (
     AgreementViolation,
     ConfigurationError,
-    IntegrityViolation,
     ProtocolError,
     ValidityViolation,
 )

@@ -1,0 +1,383 @@
+"""Unit tests for the declarative environment layer (`repro.env`)."""
+
+import json
+
+import pytest
+
+from repro.env.registry import (
+    AdversaryPrimitive,
+    EnvironmentRegistry,
+    FaultPrimitive,
+    NamedEnvironment,
+    default_environment_registry,
+)
+from repro.env.spec import (
+    AdversarySpec,
+    EnvironmentSpec,
+    FaultSpec,
+    PartitionDecl,
+    SynchronySpec,
+)
+from repro.errors import ConfigurationError
+from repro.net.adversary import (
+    BenignAdversary,
+    DeferringPartitionAdversary,
+    DropAllAdversary,
+    PartitionAdversary,
+    WorstCaseDelayAdversary,
+)
+from repro.params import TimingParams
+from repro.sim.rng import SeededRng
+from repro.sim.simulator import SimulationConfig
+
+from tests.helpers import make_params
+
+
+def make_config(n=5, ts=10.0, seed=3):
+    return SimulationConfig(n=n, params=make_params(), ts=ts, seed=seed, max_time=ts + 100.0)
+
+
+class TestSerializationRoundTrip:
+    def spec_samples(self):
+        return [
+            EnvironmentSpec(name="stable", adversary=AdversarySpec("benign")),
+            EnvironmentSpec(
+                name="partitioned",
+                adversary=AdversarySpec(
+                    "partition",
+                    {
+                        "partition": {"mode": "minority"},
+                        "leak_probability": 0.05,
+                        "leak_past_ts": True,
+                    },
+                ),
+                faults=FaultSpec("random-before-ts", {"allow_recovery": True}),
+            ),
+            EnvironmentSpec(
+                name="nested",
+                adversary=AdversarySpec(
+                    "worst-case-delay",
+                    inner=AdversarySpec(
+                        "deferring-partition",
+                        {"defer_probability": 0.25},
+                        inner=AdversarySpec("partition", {"partition": {"mode": "minority"}}),
+                    ),
+                ),
+                faults=FaultSpec(
+                    "explicit",
+                    {"events": [{"time": 1.0, "pid": 0, "kind": "crash"}]},
+                ),
+                notes="three-deep adversary chain",
+            ),
+            EnvironmentSpec(
+                name="churny",
+                adversary=AdversarySpec("drop-all"),
+                faults=FaultSpec("churn-waves", {"waves": 2, "up_time": 1.5}),
+            ),
+        ]
+
+    def test_dict_round_trip_is_equal(self):
+        for spec in self.spec_samples():
+            assert EnvironmentSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip_is_equal(self):
+        for spec in self.spec_samples():
+            assert EnvironmentSpec.from_json(spec.to_json()) == spec
+
+    def test_json_is_plain_data(self):
+        for spec in self.spec_samples():
+            payload = json.loads(spec.to_json())
+            assert isinstance(payload, dict)
+            assert payload["adversary"]["kind"]
+
+    def test_tuples_normalize_to_lists(self):
+        # A spec built with tuples equals its JSON round trip (lists).
+        spec = AdversarySpec("crash", {"pids": (1, 2, 3)})
+        assert spec.params["pids"] == [1, 2, 3]
+
+    def test_non_serializable_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="not JSON-serializable"):
+            AdversarySpec("benign", {"callback": lambda: None})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not accept keys"):
+            EnvironmentSpec.from_dict({"adversary": {"kind": "benign"}, "bogus": 1})
+        with pytest.raises(ConfigurationError, match="needs an 'adversary'"):
+            EnvironmentSpec.from_dict({"name": "empty"})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid environment JSON"):
+            EnvironmentSpec.from_json("{not json")
+        with pytest.raises(ConfigurationError, match="must be an object"):
+            EnvironmentSpec.from_json("[1, 2]")
+
+
+class TestSynchronySpec:
+    def test_only_eventual_kind(self):
+        with pytest.raises(ConfigurationError):
+            SynchronySpec(kind="lockstep")
+
+    def test_builds_eventual_synchrony(self):
+        config = make_config()
+        model = SynchronySpec(post_min_delay_fraction=0.2).build(config, DropAllAdversary())
+        assert model.ts == config.ts
+        assert model.post_min_delay_fraction == 0.2
+
+
+class TestPartitionDecl:
+    def test_minority_mode_generates_no_majority_group(self):
+        decl = PartitionDecl()
+        spec = decl.materialize(7, SeededRng(1, label="net"))
+        assert spec.blocks_majority(7)
+
+    def test_minority_mode_matches_legacy_stream(self):
+        # The decl must consume the exact RNG stream the old closures used.
+        from repro.net.partition import minority_groups
+
+        rng = SeededRng(42, label="net")
+        assert PartitionDecl().materialize(7, rng) == minority_groups(7, rng.fork("partition"))
+
+    def test_explicit_mode_pins_groups(self):
+        decl = PartitionDecl(mode="explicit", groups=[[0, 1], [2]])
+        spec = decl.materialize(3, SeededRng(0))
+        assert spec.connected(0, 1) and not spec.connected(0, 2)
+
+    def test_explicit_requires_groups(self):
+        with pytest.raises(ConfigurationError):
+            PartitionDecl(mode="explicit")
+
+    def test_minority_rejects_groups(self):
+        with pytest.raises(ConfigurationError):
+            PartitionDecl(mode="minority", groups=[[0]])
+
+    def test_round_trip(self):
+        decl = PartitionDecl(mode="explicit", groups=[[0, 1], [2]], rng_label="split")
+        assert PartitionDecl.from_dict(decl.to_dict()) == decl
+
+
+class TestAdversaryBuilding:
+    def test_benign_builder(self):
+        adversary = AdversarySpec("benign").build(make_config(), SeededRng(1))
+        assert isinstance(adversary, BenignAdversary)
+        assert adversary.delta == make_params().delta
+
+    def test_nested_chain_builds_inside_out(self):
+        spec = AdversarySpec(
+            "worst-case-delay",
+            inner=AdversarySpec(
+                "deferring-partition",
+                inner=AdversarySpec("partition", {"partition": {"mode": "minority"}}),
+            ),
+        )
+        adversary = spec.build(make_config(), SeededRng(1, label="net"))
+        assert isinstance(adversary, WorstCaseDelayAdversary)
+        assert isinstance(adversary.pre_ts, DeferringPartitionAdversary)
+        assert isinstance(adversary.pre_ts.inner, PartitionAdversary)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown adversary kind"):
+            AdversarySpec("quantum-foam").build(make_config(), SeededRng(1))
+
+    def test_unknown_params_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not accept parameters"):
+            AdversarySpec("benign", {"typo": 1}).build(make_config(), SeededRng(1))
+
+    def test_inner_on_non_wrapping_kind_rejected(self):
+        spec = AdversarySpec("benign", inner=AdversarySpec("drop-all"))
+        with pytest.raises(ConfigurationError, match="does not wrap"):
+            spec.build(make_config(), SeededRng(1))
+
+    def test_deferring_partition_requires_partition_shaped_inner(self):
+        spec = AdversarySpec("deferring-partition", inner=AdversarySpec("drop-all"))
+        with pytest.raises(ConfigurationError, match="partition-shaped"):
+            spec.build(make_config(), SeededRng(1))
+
+    def test_deferring_partition_composes_over_gray_partition(self):
+        from repro.net.adversary import GrayPartitionAdversary
+
+        spec = AdversarySpec(
+            "deferring-partition",
+            inner=AdversarySpec("gray-partition", {"partition": {"mode": "minority"}}),
+        )
+        adversary = spec.build(make_config(), SeededRng(1, label="net"))
+        assert isinstance(adversary, DeferringPartitionAdversary)
+        assert isinstance(adversary.inner, GrayPartitionAdversary)
+
+
+class TestFaultBuilding:
+    def test_none_is_empty(self):
+        assert len(FaultSpec().build(make_config())) == 0
+
+    def test_explicit_events(self):
+        spec = FaultSpec(
+            "explicit",
+            {"events": [
+                {"time": 2.0, "pid": 1, "kind": "crash"},
+                {"time": 4.0, "pid": 1, "kind": "restart"},
+            ]},
+        )
+        plan = spec.build(make_config())
+        assert [event.kind.value for event in plan] == ["crash", "restart"]
+
+    def test_explicit_malformed_event(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            FaultSpec("explicit", {"events": [{"time": 1.0}]}).build(make_config())
+
+    def test_random_before_ts_matches_legacy_stream(self):
+        from repro.faults.schedules import crash_before_stability
+
+        config = make_config(n=7, seed=9)
+        plan = FaultSpec("random-before-ts", {"allow_recovery": True}).build(config)
+        legacy = crash_before_stability(
+            7, config.ts, SeededRng(9, label="chaos-faults"), allow_recovery=True
+        )
+        assert plan.events == legacy.events
+
+    def test_churn_waves_marks_post_ts_crashes(self):
+        config = make_config(n=5)
+        spec = EnvironmentSpec(
+            adversary=AdversarySpec("drop-all"),
+            faults=FaultSpec("churn-waves", {"waves": 2}),
+        )
+        assert spec.allows_post_ts_crashes()
+        plan = spec.build_fault_plan(config)
+        plan.validate(config.n, ts=config.ts, allow_post_ts_crashes=True)
+        with pytest.raises(ConfigurationError, match="no failures at or after"):
+            plan.validate(config.n, ts=config.ts)
+
+    def test_churn_rejects_majority_victims(self):
+        config = make_config(n=5)
+        with pytest.raises(ConfigurationError, match="majority"):
+            FaultSpec("churn-waves", {"victims": [0, 1, 2]}).build(config)
+
+
+class TestEnvironmentRegistry:
+    def test_default_registry_has_the_new_families(self):
+        registry = default_environment_registry()
+        for name in ("asymmetric-link", "gray-partition", "churn"):
+            assert name in registry
+
+    def test_named_environments_validate(self):
+        registry = default_environment_registry()
+        for name in registry.names():
+            spec = registry.environment(name)
+            assert EnvironmentSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_environment_lists_alternatives(self):
+        with pytest.raises(ConfigurationError, match="available:"):
+            default_environment_registry().environment("atlantis")
+
+    def test_double_registration_rejected(self):
+        registry = EnvironmentRegistry()
+        entry = NamedEnvironment("x", lambda: EnvironmentSpec(adversary=AdversarySpec("benign")))
+        registry.register_environment(entry)
+        with pytest.raises(ConfigurationError):
+            registry.register_environment(entry)
+        primitive = AdversaryPrimitive("k", lambda *a: DropAllAdversary())
+        registry.register_adversary(primitive)
+        with pytest.raises(ConfigurationError):
+            registry.register_adversary(primitive)
+        fault = FaultPrimitive("f", lambda *a: None)
+        registry.register_faults(fault)
+        with pytest.raises(ConfigurationError):
+            registry.register_faults(fault)
+
+    def test_validate_environment_checks_nested_params(self):
+        spec = EnvironmentSpec(
+            adversary=AdversarySpec(
+                "worst-case-delay", inner=AdversarySpec("drop-all", {"oops": 1})
+            )
+        )
+        with pytest.raises(ConfigurationError, match="does not accept parameters"):
+            spec.validate()
+
+    def test_describe_mentions_chain_and_faults(self):
+        spec = default_environment_registry().environment("churn")
+        text = spec.describe()
+        assert "drop-all" in text and "churn-waves" in text
+
+
+class TestEnvironmentBuildDeterminism:
+    def test_build_network_consumes_rng_like_the_legacy_closure(self):
+        """The spec path must reproduce the legacy adversary chain bit for bit."""
+        from repro.net.partition import minority_groups
+
+        config = make_config(n=7, ts=8.0, seed=5)
+        spec = EnvironmentSpec(
+            adversary=AdversarySpec(
+                "partition",
+                {
+                    "partition": {"mode": "minority"},
+                    "leak_probability": 0.05,
+                    "leak_past_ts": True,
+                },
+            )
+        )
+        network = spec.build_network(config, SeededRng(5, label="net"))
+        adversary = network.model.adversary
+        assert isinstance(adversary, PartitionAdversary)
+        legacy_spec = minority_groups(7, SeededRng(5, label="net").fork("partition"))
+        assert adversary.spec == legacy_spec
+        assert adversary.leak_max_delay == config.ts + 2.0 * config.params.delta
+
+    def test_custom_registry_threads_through_scenario(self):
+        """A spec using user-registered primitives runs via Scenario."""
+        from repro.workloads.scenario import Scenario
+
+        registry = EnvironmentRegistry()
+        registry.register_adversary(
+            AdversaryPrimitive(
+                "my-benign",
+                lambda config, rng, params, inner: BenignAdversary(config.params.delta),
+            )
+        )
+        registry.register_faults(
+            FaultPrimitive(
+                "my-churn",
+                lambda config, params: __import__("repro.faults.plan", fromlist=["FaultPlan"])
+                .FaultPlan()
+                .crash(0, config.ts + 1.0)
+                .restart(0, config.ts + 2.0),
+                post_ts_crashes=True,
+            )
+        )
+        spec = EnvironmentSpec(
+            adversary=AdversarySpec("my-benign"), faults=FaultSpec("my-churn")
+        )
+        # The default registry does not know these kinds ...
+        with pytest.raises(ConfigurationError, match="unknown"):
+            Scenario(name="custom", config=make_config(n=3), environment=spec)
+        # ... but a scenario carrying the custom registry builds and resolves.
+        scenario = Scenario(
+            name="custom",
+            config=make_config(n=3),
+            environment=spec,
+            environment_registry=registry,
+        )
+        assert scenario.allow_post_ts_crashes
+        assert len(scenario.fault_plan) == 2
+        network = scenario.build_network(scenario.config, SeededRng(1, label="net"))
+        assert isinstance(network.model.adversary, BenignAdversary)
+
+    def test_workloads_and_registry_share_one_definition(self):
+        """The named environments are the same specs the workloads resolve."""
+        from repro.workloads.registry import default_workload_registry
+
+        registry = default_environment_registry()
+        workloads = default_workload_registry()
+        for name, kwargs in (
+            ("stable", {"n": 5}),
+            ("partitioned-chaos", {"n": 5, "ts": 10.0}),
+            ("lossy-chaos", {"n": 5, "ts": 10.0}),
+            ("asymmetric-link", {"n": 5}),
+            ("gray-partition", {"n": 5}),
+            ("churn", {"n": 5}),
+        ):
+            assert workloads.create(name, **kwargs).environment == registry.environment(name)
+
+    def test_environment_params_object_with_defaults(self):
+        params = TimingParams()
+        config = SimulationConfig(n=3, params=params, ts=0.0, seed=1, max_time=10.0)
+        spec = EnvironmentSpec(adversary=AdversarySpec("benign"))
+        network = spec.build_network(config, SeededRng(1))
+        assert network.model.delta == params.delta

@@ -14,7 +14,6 @@ from repro.errors import ConfigurationError, ExperimentError
 from repro.harness.comparison import experiment_e8_protocol_comparison
 from repro.harness.executors import (
     ParallelExecutor,
-    RunTask,
     SerialExecutor,
     execute_task,
     make_executor,

@@ -4,7 +4,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
-from repro.faults.schedules import crash_before_stability, crash_forever, staggered_restarts
+from repro.faults.schedules import (
+    churn_waves,
+    crash_before_stability,
+    crash_forever,
+    staggered_restarts,
+)
 from repro.sim.rng import SeededRng
 
 
@@ -81,6 +86,48 @@ class TestValidation:
         plan = FaultPlan().crash(0, 1.0).crash(1, 1.5)
         plan.validate(n=3)
 
+    def test_majority_boundary_n4_two_down_at_ts_rejected(self):
+        # n=4 needs a majority of 3 up at ts: two processes down is exactly
+        # one too many, one down is exactly at the boundary and fine.
+        two_down = FaultPlan().crash(0, 1.0).crash(1, 2.0)
+        with pytest.raises(ConfigurationError, match="majority"):
+            two_down.validate(n=4, ts=5.0)
+        one_down = FaultPlan().crash(0, 1.0)
+        one_down.validate(n=4, ts=5.0)
+        # A pre-ts recovery of one of the two keeps 3 up at ts.
+        recovered = FaultPlan().crash(0, 1.0).crash(1, 2.0).restart(1, 3.0)
+        recovered.validate(n=4, ts=5.0)
+
+
+class TestPostTsChurnValidation:
+    def test_post_ts_crash_allowed_only_with_flag(self):
+        plan = FaultPlan().crash(0, 2.0).restart(0, 6.0).crash(0, 7.0).restart(0, 8.0)
+        with pytest.raises(ConfigurationError, match="no failures at or after"):
+            plan.validate(n=3, ts=5.0)
+        plan.validate(n=3, ts=5.0, allow_post_ts_crashes=True)
+
+    def test_churn_below_majority_rejected_even_with_flag(self):
+        # Two of three down at once after ts dips below the majority.
+        plan = (
+            FaultPlan()
+            .crash(0, 6.0)
+            .crash(1, 6.5)
+            .restart(0, 7.0)
+            .restart(1, 7.5)
+        )
+        with pytest.raises(ConfigurationError, match="majority"):
+            plan.validate(n=3, ts=5.0, allow_post_ts_crashes=True)
+
+    def test_staggered_churn_keeping_majority_accepted(self):
+        plan = (
+            FaultPlan()
+            .crash(0, 6.0)
+            .restart(0, 7.0)
+            .crash(1, 7.5)
+            .restart(1, 8.5)
+        )
+        plan.validate(n=3, ts=5.0, allow_post_ts_crashes=True)
+
 
 class TestSchedules:
     def test_crash_forever(self):
@@ -114,6 +161,30 @@ class TestSchedules:
 
     def test_crash_before_stability_tiny_system_is_empty(self):
         assert len(crash_before_stability(1, ts=5.0, rng=SeededRng(0))) == 0
+
+    def test_churn_waves_shape(self):
+        plan = churn_waves([3, 4], ts=10.0, delta=1.0, first_offset=2.0,
+                           up_time=1.0, down_time=2.0, waves=2, stagger=0.5)
+        # Per victim: one pre-ts crash, `waves` restarts, `waves - 1` churn crashes.
+        crashes = [e for e in plan if e.kind is FaultKind.CRASH]
+        restarts = [e for e in plan if e.kind is FaultKind.RESTART]
+        assert len(crashes) == 2 * 2 and len(restarts) == 2 * 2
+        assert plan.final_down() == set()  # every victim ends up
+        plan.validate(n=5, ts=10.0, allow_post_ts_crashes=True)
+        # Stagger shifts the second victim's waves by 0.5 delta.
+        p3 = [e.time for e in plan if e.pid == 3 and e.kind is FaultKind.RESTART]
+        p4 = [e.time for e in plan if e.pid == 4 and e.kind is FaultKind.RESTART]
+        assert [round(b - a, 9) for a, b in zip(p3, p4)] == [0.5, 0.5]
+
+    def test_churn_waves_validation(self):
+        with pytest.raises(ConfigurationError):
+            churn_waves([0], ts=0.0, delta=1.0)
+        with pytest.raises(ConfigurationError):
+            churn_waves([0], ts=10.0, delta=1.0, waves=0)
+        with pytest.raises(ConfigurationError):
+            churn_waves([0], ts=10.0, delta=1.0, up_time=0.0)
+        with pytest.raises(ConfigurationError):
+            churn_waves([0], ts=10.0, delta=1.0, pre_ts_crash_fraction=1.0)
 
 
 class TestFaultEvent:

@@ -9,7 +9,6 @@ from repro.harness.sweep import sweep
 from repro.harness.tables import ExperimentTable, render_table
 from repro.workloads.stable import stable_scenario
 
-from tests.helpers import make_params
 
 
 class TestRenderTable:

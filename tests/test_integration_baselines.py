@@ -1,7 +1,5 @@
 """Integration: the baselines' O(Nδ) behaviour and the contrast with Modified Paxos (E2/E3)."""
 
-import pytest
-
 from repro.core.timing import decision_bound
 from repro.harness.runner import run_scenario
 from repro.workloads.coordinator_faults import coordinator_crash_scenario

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.messages import Phase1a
 from repro.errors import NetworkError
-from repro.net.adversary import Adversary, BenignAdversary, DropAllAdversary
+from repro.net.adversary import BenignAdversary, DropAllAdversary
 from repro.net.message import Envelope, Era
 from repro.net.network import Network
 from repro.net.synchrony import EventualSynchrony

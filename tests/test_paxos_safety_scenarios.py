@@ -13,14 +13,11 @@ implementations do not:
   late must not create a second decision.
 """
 
-import pytest
-
-from repro.core.messages import Phase1a, Phase1b, Phase2a, Phase2b
 from repro.core.modified_paxos import ModifiedPaxosProcess
 from repro.core.sessions import ballot_for
 from repro.consensus.paxos.traditional import TraditionalPaxosProcess
 
-from tests.helpers import ScriptedCluster, make_params
+from tests.helpers import ScriptedCluster
 
 
 def modified_cluster(n=3, values=None):

@@ -200,9 +200,46 @@ class TestPerNetworkMessageIds:
         assert injected.msg_id == sent.msg_id + 1
         assert injected.era is Era.PRE
 
-    def test_reset_helper_is_deprecated(self):
-        with pytest.warns(DeprecationWarning):
-            reset_envelope_ids()
+    def test_reset_helper_warns_exactly_once_per_call(self):
+        # The deprecation must fire on every call (exactly one warning per
+        # call, none swallowed by the "default" filter's once-per-location
+        # rule) so the remaining out-of-repo callers all see it.
+        import warnings
+
+        for _ in range(2):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                reset_envelope_ids()
+            deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+            assert len(deprecations) == 1
+            assert "per-Network" in str(deprecations[0].message)
+
+    def test_no_other_in_repo_callers_remain(self):
+        # The deprecation test above is the only place in the repository
+        # that still invokes the helper (PR2 migrated every real caller to
+        # per-network id streams).
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        hits = []
+        for path in (root / "src").rglob("*.py"):
+            text = path.read_text(encoding="utf-8")
+            if "reset_envelope_ids(" in text and path.name != "message.py":
+                hits.append(str(path))
+        assert hits == []
+        # And importing the package must not trigger the warning.
+        code = (
+            "import warnings; warnings.simplefilter('error', DeprecationWarning); "
+            "import repro"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            env={"PYTHONPATH": str(root / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr.decode()
 
     def test_direct_envelopes_still_get_unique_fallback_ids(self):
         first = Envelope(message=Phase1a(mbal=1), src=0, dst=1, send_time=0.0, era=Era.POST)

@@ -11,11 +11,9 @@ from dataclasses import dataclass
 import pytest
 
 from repro.errors import ProcessStateError, SimulationError
-from repro.net.adversary import BenignAdversary, DropAllAdversary
 from repro.net.message import Message
 from repro.net.network import Network
 from repro.net.synchrony import EventualSynchrony
-from repro.params import TimingParams
 from repro.sim.process import Process
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import SimulationConfig, Simulator

@@ -6,7 +6,7 @@ from repro.core.timing import decision_bound
 from repro.faults.plan import FaultPlan
 from repro.smr.metrics import check_log_consistency
 from repro.smr.runner import run_smr
-from repro.smr.state_machine import AppendOnlyLedger, KeyValueStore
+from repro.smr.state_machine import AppendOnlyLedger
 from repro.smr.workload import CommandSchedule, uniform_schedule
 from repro.workloads.chaos import partitioned_chaos_scenario
 from repro.workloads.stable import stable_scenario

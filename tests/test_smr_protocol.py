@@ -1,7 +1,5 @@
 """Transition-level unit tests for the multi-decree SMR protocol."""
 
-import pytest
-
 from repro.core.sessions import ballot_for
 from repro.smr.messages import (
     CommandRequest,
