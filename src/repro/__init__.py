@@ -37,8 +37,18 @@ grouping, and summary statistics::
     for (protocol, n), subset in results.group_by("protocol", "n").items():
         print(protocol, n, subset.max(lag_delta))
 
+Quick start — durable results.  Pass ``store=`` to persist every run as a
+schema-versioned :class:`RunRecord` under its content key, and
+``resume=True`` to load any run already present instead of re-executing
+it (see :mod:`repro.results`)::
+
+    results = run_experiment(spec, store="runs.jsonl", resume=True)
+    with open_store("runs.jsonl") as store:
+        print(store.query(protocol="modified-paxos").summary(lag_delta))
+
 ``python -m repro list-workloads`` and ``python -m repro list-protocols``
-print everything the registries know.
+print everything the registries know; ``python -m repro results ls
+--store runs.jsonl`` inspects a store.
 """
 
 from repro._version import __version__
@@ -70,6 +80,15 @@ from repro.harness.experiment import (
 from repro.harness.runner import RunResult, run_scenario
 from repro.harness.sweep import sweep
 from repro.params import TimingParams
+from repro.results import (
+    JsonlStore,
+    MemoryStore,
+    ResultStore,
+    RunRecord,
+    SqliteStore,
+    content_key_for_task,
+    open_store,
+)
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
 from repro.workloads.coordinator_faults import coordinator_crash_scenario
@@ -92,6 +111,8 @@ __all__ = [
     "Executor",
     "ExperimentSpec",
     "FaultSpec",
+    "JsonlStore",
+    "MemoryStore",
     "PartitionDecl",
     "SynchronySpec",
     "ModifiedPaxosBuilder",
@@ -99,8 +120,11 @@ __all__ = [
     "ParallelExecutor",
     "ResultRow",
     "ResultSet",
+    "ResultStore",
+    "RunRecord",
     "RunResult",
     "RunTask",
+    "SqliteStore",
     "Scenario",
     "ScenarioRegistry",
     "SerialExecutor",
@@ -110,6 +134,7 @@ __all__ = [
     "__version__",
     "asymmetric_link_scenario",
     "churn_scenario",
+    "content_key_for_task",
     "coordinator_crash_scenario",
     "decision_bound",
     "default_environment_registry",
@@ -121,6 +146,7 @@ __all__ = [
     "lossy_chaos_scenario",
     "make_executor",
     "obsolete_ballot_scenario",
+    "open_store",
     "partitioned_chaos_scenario",
     "restart_after_stability_scenario",
     "restart_decision_bound",

@@ -2,7 +2,9 @@
 
 The harness returns structured :class:`repro.harness.runner.RunResult`
 objects; this module renders them as text for the CLI, the examples, and for
-debugging sessions ("why was this run slow?").
+debugging sessions ("why was this run slow?").  Stored
+:class:`~repro.results.record.RunRecord`\\ s get the same treatment via
+:func:`render_record_report` (the ``repro results show`` renderer).
 """
 
 from __future__ import annotations
@@ -14,8 +16,9 @@ from repro.harness.tables import render_table
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.runner import RunResult
+    from repro.results.record import RunRecord
 
-__all__ = ["render_run_report"]
+__all__ = ["render_record_report", "render_run_report"]
 
 
 def _decision_rows(result: "RunResult") -> List[List[object]]:
@@ -87,5 +90,59 @@ def render_run_report(result: "RunResult") -> str:
         lines.append(f"highest round reached       : {result.metrics.max_round}")
     lines.append(
         f"simulated time: {result.metrics.duration:.3f}  events: {result.metrics.events_processed}"
+    )
+    return "\n".join(lines)
+
+
+def render_record_report(record: "RunRecord") -> str:
+    """Render one stored run record as a multi-section text report.
+
+    The stored counterpart of :func:`render_run_report`: everything here
+    comes from the record's serialized data alone, so any store can be
+    inspected without re-running (or even being able to re-run) the task.
+    """
+    lines: List[str] = []
+    lines.append(f"run record: {record.key}")
+    lines.append(
+        f"  identity: protocol={record.protocol} workload={record.workload} "
+        f"n={record.n} ts={record.ts:g} delta={record.delta:g} seed={record.seed} "
+        f"(schema v{record.schema_version})"
+    )
+    if record.tags:
+        tag_text = " ".join(f"{key}={value!r}" for key, value in sorted(record.tags.items()))
+        lines.append(f"  tags: {tag_text}")
+    environment = record.environment
+    if environment:
+        name = environment.get("name", "")
+        adversary = environment.get("adversary", {}).get("kind", "?")
+        faults = environment.get("faults", {}).get("kind", "none")
+        label = f"{name}: " if name else ""
+        lines.append(f"  environment: {label}adversary={adversary} faults={faults}")
+    lines.append("")
+
+    lines.append("decisions (lag is relative to TS):")
+    decided = {decision.pid: decision for decision in record.decisions}
+    rows: List[List[object]] = []
+    for pid in range(record.n):
+        decision = decided.get(pid)
+        if decision is None:
+            status = "undecided" if pid in record.undecided_pids else "not expected"
+            rows.append([f"p{pid}", "-", "-", status])
+        else:
+            rows.append(
+                [f"p{pid}", repr(decision.value), f"{decision.after_stability:+.3f}", "decided"]
+            )
+    lines.append(render_table(["process", "decided value", "lag after TS", "status"], rows,
+                              indent="  "))
+    lines.append("")
+
+    lag = record.metrics.get("max_lag_after_ts")
+    lag_text = f"{lag:.3f} ({lag / record.delta:.3f} delta)" if lag is not None else "n/a"
+    lines.append(f"worst decision lag after TS : {lag_text}")
+    safety = record.metrics.get("safety_valid")
+    lines.append(f"safety                      : {'OK' if safety else safety}")
+    lines.append(
+        f"messages: sent={record.messages_sent} delivered={record.messages_delivered}  "
+        f"simulated time: {record.duration:.3f}"
     )
     return "\n".join(lines)

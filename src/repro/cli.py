@@ -1,13 +1,14 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro run --protocol modified-paxos --workload partitioned-chaos --n 7 --seed 42
     python -m repro run --env churn --n 7
     python -m repro list-protocols
     python -m repro list-workloads
     python -m repro list-environments
-    python -m repro experiments --scale smoke --jobs 4 --out results/
+    python -m repro experiments --scale smoke --jobs 4 --out results/ --store runs.jsonl --resume
+    python -m repro results ls --store runs.jsonl
     python -m repro bench --out BENCH_PR2.json --check
 
 ``run`` executes a single (workload, protocol) pair and prints the run
@@ -19,9 +20,14 @@ takes a declarative environment — a name from the
 :class:`~repro.env.spec.EnvironmentSpec` JSON object — and runs it as a
 scenario.  ``experiments`` delegates to the campaign runner
 (:mod:`repro.harness.campaign`); with ``--jobs N`` the runs fan out over a
-process pool.  ``bench`` runs the hot-path kernel suite plus an E1-style
-macro run (:mod:`repro.harness.bench`) and can gate against the last
-committed ``BENCH_*.json`` artifact.
+process pool, ``--store`` streams every run record into a
+:class:`~repro.results.store.ResultStore`, and ``--resume`` loads runs
+already present instead of re-executing them.  ``results`` inspects such
+stores: ``ls``, ``show <key>``, ``query``, ``export`` (JSON/CSV), and
+``diff`` over two stores' decision-lag aggregates
+(:mod:`repro.results`).  ``bench`` runs the hot-path kernel suite plus an
+E1-style macro run (:mod:`repro.harness.bench`) and can gate against the
+last committed ``BENCH_*.json`` artifact.
 """
 
 from __future__ import annotations
@@ -135,6 +141,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker processes for the experiment runs (1 = serial)",
     )
+    experiments_parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="persist every run record here (.jsonl, .sqlite, or .db)",
+    )
+    experiments_parser.add_argument(
+        "--resume", action="store_true",
+        help="load runs already present in --store instead of re-executing them",
+    )
+
+    results_parser = subparsers.add_parser(
+        "results", help="inspect result stores written by experiments --store"
+    )
+    results_subparsers = results_parser.add_subparsers(dest="results_command", required=True)
+
+    def add_store_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--store", required=True, metavar="PATH",
+                         help="result store path (.jsonl, .sqlite, or .db)")
+
+    results_ls = results_subparsers.add_parser("ls", help="list stored records")
+    add_store_argument(results_ls)
+
+    results_show = results_subparsers.add_parser("show", help="show one record in full")
+    results_show.add_argument("key", help="content key (as printed by `results ls`)")
+    add_store_argument(results_show)
+    results_show.add_argument("--json", action="store_true", dest="as_json",
+                              help="print the raw serialized record instead of the report")
+
+    results_query = results_subparsers.add_parser(
+        "query", help="filter records by protocol / workload / tags"
+    )
+    add_store_argument(results_query)
+    results_query.add_argument("--protocol", default=None)
+    results_query.add_argument("--workload", default=None)
+    results_query.add_argument(
+        "--tag", action="append", dest="tags", default=[], metavar="KEY=VALUE",
+        help="tag equality filter (repeatable); values parse as JSON when possible",
+    )
+    results_query.add_argument("--json", action="store_true", dest="as_json",
+                               help="print matching records as a JSON array")
+
+    results_export = results_subparsers.add_parser(
+        "export", help="export a store as JSON or CSV"
+    )
+    add_store_argument(results_export)
+    results_export.add_argument("--format", choices=("json", "csv"), default="json")
+    results_export.add_argument("--out", default=None,
+                                help="write here instead of stdout")
+
+    results_diff = results_subparsers.add_parser(
+        "diff", help="compare two stores' decision-lag aggregates"
+    )
+    results_diff.add_argument("store_a", help="baseline store path")
+    results_diff.add_argument("store_b", help="candidate store path")
 
     bench_parser = subparsers.add_parser(
         "bench", help="run the hot-path kernel benchmarks and the E1-style macro run"
@@ -243,11 +302,108 @@ def _command_list_environments(args: argparse.Namespace) -> int:
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
-    result = run_campaign(
-        scale=args.scale, experiments=args.experiments, progress=print, jobs=args.jobs
-    )
+    from repro.errors import ResultSchemaError, ResultStoreError
+
+    if args.resume and args.store is None:
+        print("--resume needs --store")
+        return 2
+    try:
+        result = run_campaign(
+            scale=args.scale, experiments=args.experiments, progress=print, jobs=args.jobs,
+            store=args.store, resume=args.resume,
+        )
+    except (ResultSchemaError, ResultStoreError) as error:
+        print(error)
+        return 2
     report = write_report(result, args.out)
     print(f"wrote {report}")
+    if args.store is not None:
+        print(f"store {args.store}: {len(result.store)} records")
+    return 0
+
+
+def _parse_tag_filters(pairs: Sequence[str]) -> Dict[str, object]:
+    """``KEY=VALUE`` tag filters; values parse as JSON scalars when possible."""
+    import json
+
+    tags: Dict[str, object] = {}
+    for pair in pairs:
+        key, separator, raw = pair.partition("=")
+        if not separator or not key:
+            raise ConfigurationError(f"tag filter must look like KEY=VALUE, got {pair!r}")
+        try:
+            tags[key] = json.loads(raw)
+        except ValueError:
+            tags[key] = raw
+    return tags
+
+
+def _command_results(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.report import render_record_report
+    from repro.errors import ResultSchemaError, ResultStoreError
+    from repro.harness.tables import render_table
+    from repro.results import diff_aggregates, export_csv, export_json, open_store
+
+    command = args.results_command
+    try:
+        if command == "diff":
+            with open_store(args.store_a) as a, open_store(args.store_b) as b:
+                rows = diff_aggregates(a.records(), b.records())
+            if not rows:
+                print("both stores are empty")
+                return 0
+            headers = ["protocol", "workload", "runs_a", "runs_b", "mean_lag_a",
+                       "mean_lag_b", "mean_lag_diff", "max_lag_a", "max_lag_b",
+                       "max_lag_diff"]
+            print(f"decision-lag aggregates (delta units): A={args.store_a} B={args.store_b}")
+            print(render_table(headers, [[row[h] for h in headers] for row in rows]))
+            return 0
+
+        with open_store(args.store) as store:
+            if command == "ls":
+                records = list(store.records())
+                if not records:
+                    print("store is empty")
+                    return 0
+                for record in records:
+                    print(record.describe())
+                print(f"{len(records)} records ({store.backend})")
+            elif command == "show":
+                record = store.get(args.key)
+                if record is None:
+                    print(f"no record under key {args.key!r}")
+                    return 1
+                if args.as_json:
+                    print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+                else:
+                    print(render_record_report(record))
+            elif command == "query":
+                tags = _parse_tag_filters(args.tags)
+                records = store.query_records(
+                    protocol=args.protocol, workload=args.workload, tags=tags
+                )
+                if args.as_json:
+                    print(export_json(records))
+                else:
+                    for record in records:
+                        print(record.describe())
+                    print(f"{len(records)} matching records")
+            elif command == "export":
+                text = export_csv(store.records()) if args.format == "csv" \
+                    else export_json(store.records())
+                if args.out:
+                    with open(args.out, "w", encoding="utf-8") as handle:
+                        handle.write(text)
+                        if not text.endswith("\n"):
+                            handle.write("\n")
+                    print(f"wrote {args.out}")
+                else:
+                    print(text)
+    except (ResultSchemaError, ResultStoreError, ConfigurationError) as error:
+        print(error)
+        return 2
     return 0
 
 
@@ -302,6 +458,7 @@ _COMMANDS: Dict[str, Callable[[argparse.Namespace], int]] = {
     "list-workloads": _command_list_workloads,
     "list-environments": _command_list_environments,
     "experiments": _command_experiments,
+    "results": _command_results,
     "bench": _command_bench,
 }
 

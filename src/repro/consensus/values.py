@@ -3,9 +3,45 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
-__all__ = ["DecisionOutcome", "RunOutcome"]
+from repro.errors import ResultSchemaError
+
+__all__ = ["DecisionOutcome", "RunOutcome", "json_safe"]
+
+
+def json_safe(value: Any, where: str = "value") -> Any:
+    """Deep-normalize ``value`` into JSON-representable plain data.
+
+    Tuples become lists (so a value equals its JSON round trip); scalars,
+    lists, and string-keyed mappings pass through recursively.  Anything JSON
+    cannot represent faithfully — sets, arbitrary objects, non-string mapping
+    keys — raises :class:`~repro.errors.ResultSchemaError` naming where it
+    appeared, instead of silently producing a record that cannot round-trip.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ResultSchemaError(
+                f"{where}: non-finite float {value!r} is not JSON-representable"
+            )
+        return value
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item, f"{where}[{index}]") for index, item in enumerate(value)]
+    if isinstance(value, Mapping):
+        plain: Dict[str, Any] = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ResultSchemaError(
+                    f"{where}: mapping key {key!r} is not a string; JSON objects "
+                    "round-trip string keys only"
+                )
+            plain[key] = json_safe(item, f"{where}[{key!r}]")
+        return plain
+    raise ResultSchemaError(
+        f"{where}: value {value!r} of type {type(value).__name__} is not JSON-serializable"
+    )
 
 
 @dataclass(frozen=True)
@@ -72,6 +108,28 @@ class RunOutcome:
         if not relevant:
             return None
         return max(max(0.0, decision.after_stability) for decision in relevant)
+
+    def validate_extra(self, codec_keys: Any = ()) -> List[str]:
+        """The ``extra`` keys whose values JSON cannot represent faithfully.
+
+        ``codec_keys`` names keys that a serializer handles with a dedicated
+        codec (e.g. ``restart_lags``' integer-keyed mapping); they are exempt
+        from the plain-JSON check.  Used by
+        :meth:`repro.results.record.RunRecord.from_outcome`, which raises
+        :class:`~repro.errors.ResultSchemaError` listing every offender, so a
+        bad value fails loudly at record time instead of silently producing a
+        record that cannot round-trip.
+        """
+        exempt = set(codec_keys)
+        offending: List[str] = []
+        for key, value in self.extra.items():
+            if key in exempt:
+                continue
+            try:
+                json_safe(value, f"extra[{key!r}]")
+            except ResultSchemaError:
+                offending.append(key)
+        return offending
 
     def describe(self) -> str:
         decided = len(self.decisions)

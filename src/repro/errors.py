@@ -24,6 +24,8 @@ __all__ = [
     "IntegrityViolation",
     "InvariantViolation",
     "ExperimentError",
+    "ResultSchemaError",
+    "ResultStoreError",
 ]
 
 
@@ -81,3 +83,16 @@ class InvariantViolation(SafetyViolation):
 
 class ExperimentError(ReproError):
     """An experiment definition or sweep was configured incorrectly."""
+
+
+class ResultSchemaError(ReproError):
+    """A run result could not be (de)serialized under the results schema.
+
+    Raised when an outcome carries values JSON cannot represent (the message
+    names every offending key) or when a stored record's schema version is
+    newer than this library understands.
+    """
+
+
+class ResultStoreError(ReproError):
+    """A result store was opened, written, or read incorrectly."""

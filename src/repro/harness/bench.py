@@ -31,6 +31,11 @@ Kernels deliberately exercise *disjoint* layers:
     Raw ``EventQueue`` push/pop without a simulator.
 ``trace_record``
     ``TraceRecorder.record`` throughput with realistic field payloads.
+``result_store_jsonl`` / ``result_store_sqlite``
+    :class:`~repro.results.store.JsonlStore` / ``SqliteStore`` write +
+    query round trips over realistic :class:`~repro.results.record.RunRecord`
+    payloads, so the artifact tracks persistence overhead next to the
+    simulation rates.
 """
 
 from __future__ import annotations
@@ -39,6 +44,8 @@ import json
 import os
 import platform
 import re
+import shutil
+import tempfile
 import time
 from glob import glob
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -57,6 +64,7 @@ __all__ = [
     "PRIMARY_METRICS",
     "compare_to_baseline",
     "find_latest_baseline",
+    "kernel_result_store",
     "run_bench",
     "write_bench",
 ]
@@ -70,6 +78,8 @@ PRIMARY_METRICS: Dict[str, str] = {
     "network_trace_on_logged": "envelopes_per_sec",
     "event_queue": "ops_per_sec",
     "trace_record": "records_per_sec",
+    "result_store_jsonl": "records_per_sec",
+    "result_store_sqlite": "records_per_sec",
 }
 
 
@@ -220,6 +230,74 @@ def kernel_trace(records: int = 200_000, repeats: int = 5) -> Dict[str, Any]:
     return result
 
 
+def _synthetic_record(index: int) -> Any:
+    """One realistic RunRecord payload for the store kernels."""
+    from repro.consensus.values import DecisionOutcome, RunOutcome
+    from repro.results.record import RunRecord
+
+    n = 9
+    outcome = RunOutcome(
+        protocol="modified-paxos",
+        n=n,
+        ts=10.0,
+        delta=1.0,
+        seed=index,
+        decisions=[
+            DecisionOutcome(pid=pid, value=pid % 3, time=12.0 + 0.1 * pid,
+                            after_stability=2.0 + 0.1 * pid)
+            for pid in range(n)
+        ],
+        proposals={pid: pid % 3 for pid in range(n)},
+        messages_sent=420,
+        messages_delivered=400,
+        duration=14.0,
+        extra={"max_lag_after_ts": 2.8, "safety_valid": True, "events": 5000},
+    )
+    return RunRecord.from_outcome(
+        outcome,
+        workload="partitioned-chaos",
+        key=f"modified-paxos/partitioned-chaos/bench/n{n}-ts10-d1-s{index}",
+        tags={"n": n, "seed": index, "protocol": "modified-paxos"},
+    )
+
+
+def kernel_result_store(
+    backend: str = "jsonl", records: int = 1_000, repeats: int = 3
+) -> Dict[str, Any]:
+    """ResultStore write + read-back + query throughput on disk.
+
+    One "record" op = one ``put`` plus its share of a full ``query`` pass
+    and an index ``flush``, measured against a fresh store file per pass —
+    the persistence path a store-backed campaign actually pays.
+    """
+    from repro.results.store import JsonlStore, SqliteStore
+
+    payloads = [_synthetic_record(index) for index in range(records)]
+
+    def run() -> Tuple[float, Dict[str, Any]]:
+        directory = tempfile.mkdtemp(prefix="repro-bench-store-")
+        try:
+            if backend == "jsonl":
+                store = JsonlStore(os.path.join(directory, "bench.jsonl"))
+            else:
+                store = SqliteStore(os.path.join(directory, "bench.sqlite"))
+            start = time.perf_counter()
+            for record in payloads:
+                store.put(record)
+            store.flush()
+            matched = len(store.query_records(protocol="modified-paxos"))
+            store.close()
+            wall = time.perf_counter() - start
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+        assert matched == records
+        return wall, {"records": records, "records_per_sec": 0.0, "backend": backend}
+
+    result = _best_of(repeats, run)
+    result["records_per_sec"] = result["records"] / result["wall_s"]
+    return result
+
+
 def macro_e1(ns: Tuple[int, ...] = (3, 5, 7, 9), repeats: int = 3) -> Dict[str, Any]:
     """One E1-style macro run: the Modified Paxos scaling experiment, smoke-sized."""
     from repro.harness.experiments import (
@@ -257,9 +335,11 @@ def run_bench(quick: bool = False, label: str = "") -> Dict[str, Any]:
     if quick:
         loop_events, queue_events, trace_records = 50_000, 50_000, 50_000
         net_time, repeats, macro_ns, macro_repeats = 15.0, 3, (3, 5), 1
+        store_records = 300
     else:
         loop_events, queue_events, trace_records = 200_000, 200_000, 200_000
         net_time, repeats, macro_ns, macro_repeats = 60.0, 5, (3, 5, 7, 9), 3
+        store_records = 1_000
 
     kernels = {
         "event_loop_trace_off": kernel_event_loop(False, events=loop_events, repeats=repeats),
@@ -271,6 +351,12 @@ def run_bench(quick: bool = False, label: str = "") -> Dict[str, Any]:
         ),
         "event_queue": kernel_event_queue(n_events=queue_events, repeats=repeats),
         "trace_record": kernel_trace(records=trace_records, repeats=repeats),
+        "result_store_jsonl": kernel_result_store(
+            "jsonl", records=store_records, repeats=macro_repeats
+        ),
+        "result_store_sqlite": kernel_result_store(
+            "sqlite", records=store_records, repeats=macro_repeats
+        ),
     }
     return {
         "schema": BENCH_SCHEMA,

@@ -18,7 +18,7 @@ while the baselines' adversarial columns grow roughly linearly.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.core.timing import decision_bound
 from repro.harness.executors import Executor
@@ -43,8 +43,14 @@ def experiment_e8_protocol_comparison(
     params: Optional[TimingParams] = None,
     ts_factor: float = 8.0,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
-    """Regenerate the protocol-comparison table."""
+    """Regenerate the protocol-comparison table.
+
+    ``store``/``resume`` persist and reuse per-run records by content key,
+    exactly as in :func:`~repro.harness.experiment.run_experiment`.
+    """
     params = params if params is not None else default_experiment_params()
     bound = decision_bound(params) / params.delta
 
@@ -70,7 +76,9 @@ def experiment_e8_protocol_comparison(
             ("rotating-coordinator", "coordinator-crash"),
         )
     ]
-    results = run_experiment([chaos, *adversarial], executor=executor)
+    results = run_experiment(
+        [chaos, *adversarial], executor=executor, store=store, resume=resume
+    )
 
     table = ExperimentTable(
         experiment="E8",

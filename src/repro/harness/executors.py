@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Union
+from typing import Any, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.consensus.base import ProtocolBuilder
 from repro.consensus.registry import ProtocolRegistry
@@ -149,7 +149,24 @@ class Executor:
 
     def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
         """Execute every task and return outcomes in task order."""
-        raise NotImplementedError
+        return list(self.imap(tasks))
+
+    def imap(self, tasks: Sequence[RunTask]) -> Iterator[RunOutcome]:
+        """Yield outcomes in task order as they complete.
+
+        The streaming counterpart of :meth:`map`: consumers that persist
+        outcomes (e.g. ``run_experiment(..., store=...)``) write each record
+        as it arrives instead of holding the whole batch, so an interrupted
+        campaign keeps everything finished before the interruption.
+        Subclasses must override at least one of :meth:`map` / :meth:`imap`.
+        """
+        if type(self).map is Executor.map:
+            # Neither method overridden: fail clearly instead of recursing
+            # map -> imap -> map until the interpreter gives up.
+            raise NotImplementedError(
+                f"{type(self).__name__} must override Executor.map() or Executor.imap()"
+            )
+        return iter(self.map(tasks))
 
     def run(self, task: RunTask) -> RunOutcome:
         return self.map([task])[0]
@@ -191,6 +208,10 @@ class SerialExecutor(Executor):
 
     def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
         return [snapshot_outcome(self.map_result(task)) for task in tasks]
+
+    def imap(self, tasks: Sequence[RunTask]) -> Iterator[RunOutcome]:
+        for task in tasks:
+            yield snapshot_outcome(self.map_result(task))
 
     def map_result(self, task: RunTask) -> RunResult:
         return execute_task_result(
@@ -241,11 +262,16 @@ class ParallelExecutor(Executor):
         return self._pool
 
     def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
+        return list(self.imap(tasks))
+
+    def imap(self, tasks: Sequence[RunTask]) -> Iterator[RunOutcome]:
         tasks = list(tasks)
         if self.jobs <= 1 or len(tasks) <= 1:
-            return [execute_task(task) for task in tasks]
+            return (execute_task(task) for task in tasks)
         chunksize = max(1, len(tasks) // (4 * self.jobs))
-        return list(self._ensure_pool().map(execute_task, tasks, chunksize=chunksize))
+        # Pool.map's iterator yields in task order as chunks complete, so a
+        # store-backed consumer persists progress while later tasks still run.
+        return self._ensure_pool().map(execute_task, tasks, chunksize=chunksize)
 
     def close(self) -> None:
         """Shut the worker pool down (the executor stays reusable)."""

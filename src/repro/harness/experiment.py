@@ -26,6 +26,7 @@ Typical use::
 from __future__ import annotations
 
 import itertools
+import logging
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -57,6 +58,8 @@ __all__ = [
 GridPoint = Dict[str, Any]
 Binder = Callable[[GridPoint], Mapping[str, Any]]
 Metric = Callable[["ResultRow"], Optional[float]]
+
+logger = logging.getLogger("repro.results")
 
 
 @dataclass(frozen=True)
@@ -265,12 +268,23 @@ def run_experiment(
     *,
     executor: Optional[Executor] = None,
     jobs: Optional[int] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ResultSet:
     """Expand the spec(s) into tasks, execute them, and pair up the results.
 
     ``executor`` wins over ``jobs``; with neither, execution is serial.
     Passing several specs runs their concatenated task lists in one batch,
     so a parallel executor can schedule across all of them.
+
+    ``store`` (a :class:`~repro.results.store.ResultStore` or a path
+    accepted by :func:`~repro.results.store.open_store`) persists every
+    executed task as a :class:`~repro.results.record.RunRecord` under its
+    content key, streamed as outcomes complete — an interrupted run keeps
+    everything finished so far.  With ``resume=True``, tasks whose key is
+    already present are loaded from the store instead of executed (cache
+    hits are logged on the ``repro.results`` logger); the returned
+    :class:`ResultSet` is indistinguishable from a fully fresh run.
     """
     if executor is not None and jobs is not None:
         raise ExperimentError("pass either executor or jobs, not both")
@@ -279,5 +293,49 @@ def run_experiment(
     tasks: List[RunTask] = []
     for one in specs:
         tasks.extend(one.tasks())
-    outcomes = executor.map(tasks)
-    return ResultSet(ResultRow(task=task, outcome=outcome) for task, outcome in zip(tasks, outcomes))
+
+    if store is None:
+        if resume:
+            raise ExperimentError("resume=True needs a store to resume from")
+        outcomes = executor.map(tasks)
+        return ResultSet(
+            ResultRow(task=task, outcome=outcome) for task, outcome in zip(tasks, outcomes)
+        )
+
+    from repro.results.record import RunRecord, content_key_for_task
+    from repro.results.store import open_store
+
+    opened = not hasattr(store, "put")
+    store = open_store(store)
+    keys = [content_key_for_task(task) for task in tasks]
+    slots: List[Optional[RunOutcome]] = [None] * len(tasks)
+    pending: List[int] = []
+    for index, key in enumerate(keys):
+        record = store.get(key) if resume else None
+        if record is not None:
+            slots[index] = record.to_outcome()
+            logger.info("cache hit: %s", key)
+        else:
+            pending.append(index)
+    if resume:
+        logger.info(
+            "resume: %d of %d runs cached, executing %d",
+            len(tasks) - len(pending), len(tasks), len(pending),
+        )
+    try:
+        # Stream records into the store as outcomes complete; a crash or
+        # interrupt mid-batch leaves every finished run durable.
+        for index, outcome in zip(
+            pending, executor.imap([tasks[i] for i in pending])
+        ):
+            slots[index] = outcome
+            store.put(RunRecord.from_task(tasks[index], outcome, key=keys[index]))
+    finally:
+        store.flush()
+        if opened:
+            store.close()
+    return ResultSet(
+        ResultRow(task=task, outcome=outcome)
+        for task, outcome in zip(tasks, slots)
+        if outcome is not None
+    )

@@ -18,7 +18,7 @@ instances and benchmarks the full ones.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.core.timing import (
     decision_bound,
@@ -57,6 +57,8 @@ def experiment_e1_modified_paxos_scaling(
     params: Optional[TimingParams] = None,
     ts_factor: float = 10.0,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C1: Modified Paxos decides within the analytic bound, independently of N."""
     params = params if params is not None else default_experiment_params()
@@ -68,7 +70,7 @@ def experiment_e1_modified_paxos_scaling(
         base={"params": params, "ts": ts_factor * params.delta},
         grid={"n": tuple(ns)},
     )
-    results = run_experiment(spec, executor=executor)
+    results = run_experiment(spec, executor=executor, store=store, resume=resume)
     return ExperimentTable.from_result_set(
         results,
         experiment="E1",
@@ -94,6 +96,8 @@ def experiment_e2_traditional_obsolete(
     seeds: Iterable[int] = (1,),
     params: Optional[TimingParams] = None,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C2: traditional Paxos needs O(Nδ) when obsolete high ballots surface after TS."""
     params = params if params is not None else default_experiment_params()
@@ -111,7 +115,7 @@ def experiment_e2_traditional_obsolete(
         grid={"n": tuple(ns)},
         bind=lambda point: {"n": point["n"], "num_obsolete": obsolete_k(point["n"])},
     )
-    results = run_experiment(spec, executor=executor)
+    results = run_experiment(spec, executor=executor, store=store, resume=resume)
     return ExperimentTable.from_result_set(
         results,
         experiment="E2",
@@ -140,6 +144,8 @@ def experiment_e3_rotating_coordinator(
     seeds: Iterable[int] = (1,),
     params: Optional[TimingParams] = None,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C3: the rotating-coordinator baseline pays one round timeout per dead coordinator."""
     params = params if params is not None else default_experiment_params()
@@ -162,7 +168,7 @@ def experiment_e3_rotating_coordinator(
         bind=lambda point: {"num_faulty": point["faulty_f"]},
         tags={"n": n},
     )
-    results = run_experiment(spec, executor=executor)
+    results = run_experiment(spec, executor=executor, store=store, resume=resume)
     return ExperimentTable.from_result_set(
         results,
         experiment="E3",
@@ -187,6 +193,8 @@ def experiment_e4_modified_bconsensus(
     params: Optional[TimingParams] = None,
     ts_factor: float = 10.0,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C5: Modified B-Consensus also decides within O(δ) of TS, independently of N."""
     params = params if params is not None else default_experiment_params()
@@ -197,7 +205,7 @@ def experiment_e4_modified_bconsensus(
         base={"params": params, "ts": ts_factor * params.delta},
         grid={"n": tuple(ns)},
     )
-    results = run_experiment(spec, executor=executor)
+    results = run_experiment(spec, executor=executor, store=store, resume=resume)
     return ExperimentTable.from_result_set(
         results,
         experiment="E4",
@@ -224,6 +232,8 @@ def experiment_e5_restart_recovery(
     params: Optional[TimingParams] = None,
     protocol: str = "modified-paxos",
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C4: a process restarting after TS decides within O(δ) of its restart."""
     params = params if params is not None else default_experiment_params()
@@ -241,7 +251,7 @@ def experiment_e5_restart_recovery(
         seeds=tuple(seeds),
         base={"n": n, "params": params, "restart_offsets": list(offsets)},
     )
-    results = run_experiment(spec, executor=executor)
+    results = run_experiment(spec, executor=executor, store=store, resume=resume)
     per_offset: dict[float, list[float]] = {offset: [] for offset in offsets}
     for row in results:
         lags = row.outcome.extra["restart_lags"]
@@ -270,6 +280,8 @@ def experiment_e6_epsilon_tradeoff(
     base_params: Optional[TimingParams] = None,
     ts_factor: float = 8.0,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C6: the ε keep-alive trades steady-state message rate against recovery latency."""
     base_params = base_params if base_params is not None else default_experiment_params()
@@ -285,7 +297,7 @@ def experiment_e6_epsilon_tradeoff(
         grid={"epsilon_delta": tuple(epsilons)},
         bind=lambda point: {"params": params_for(point["epsilon_delta"])},
     )
-    results = run_experiment(spec, executor=executor)
+    results = run_experiment(spec, executor=executor, store=store, resume=resume)
 
     def rate_per_proc_per_delta(row) -> Optional[float]:
         rate = row.outcome.extra.get("post_ts_send_rate")
@@ -331,6 +343,8 @@ def experiment_e7_stable_case(
     seeds: Iterable[int] = (1, 2, 3),
     params: Optional[TimingParams] = None,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C6: with a stable, failure-free system all protocols decide in a few message delays."""
     params = params if params is not None else default_experiment_params()
@@ -340,7 +354,7 @@ def experiment_e7_stable_case(
         seeds=tuple(seeds),
         base={"n": n, "params": params},
     )
-    results = run_experiment(spec, executor=executor)
+    results = run_experiment(spec, executor=executor, store=store, resume=resume)
     return ExperimentTable.from_result_set(
         results,
         experiment="E7",
@@ -367,15 +381,18 @@ def experiment_e9_smr_stable_case(
     chaos_commands: int = 10,
     params: Optional[TimingParams] = None,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> ExperimentTable:
     """C6 (multi-instance): stable-case commands commit in a few message delays.
 
     Uses the SMR extension (:mod:`repro.smr`): one ballot and one phase 1
     cover the whole log, so during stable periods a command costs a single
     phase-2 round (plus one forwarding hop when submitted at a follower).
-    The ``executor`` parameter is accepted for campaign uniformity but
-    unused — the SMR runner drives the simulator directly, outside the
-    single-decree run-task path.
+    The ``executor``, ``store``, and ``resume`` parameters are accepted for
+    campaign uniformity but unused — the SMR runner drives the simulator
+    directly, outside the single-decree run-task path, so its runs have no
+    declarative content key to cache under.
     """
     from repro.smr.runner import run_smr
     from repro.smr.workload import uniform_schedule

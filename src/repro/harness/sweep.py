@@ -20,13 +20,51 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Unio
 
 from repro.analysis.stats import summarize
 from repro.consensus.base import ProtocolBuilder
+from repro.consensus.values import RunOutcome
 from repro.errors import ExperimentError
-from repro.harness.executors import Executor, SerialExecutor
+from repro.harness.executors import Executor, RunTask, SerialExecutor, snapshot_outcome
 from repro.harness.runner import RunResult
 from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.scenario import Scenario
 
-__all__ = ["SweepPoint", "SweepResult", "sweep"]
+__all__ = ["StoredRunResult", "SweepPoint", "SweepResult", "sweep"]
+
+
+@dataclass(frozen=True)
+class StoredRunResult:
+    """A sweep run satisfied from a result store instead of a simulation.
+
+    Exposes the outcome-level surface of
+    :class:`~repro.harness.runner.RunResult` — ``protocol``,
+    :meth:`outcome`, :meth:`max_lag_after_ts`, ``decided_all`` — which is
+    everything outcome-derived sweep metrics need.  The simulator died with
+    the original process, so ``.simulator`` raises with instructions to
+    re-run without ``resume`` when a metric genuinely needs the full run.
+    """
+
+    record: Any  # repro.results.record.RunRecord
+
+    @property
+    def protocol(self) -> str:
+        return self.record.protocol
+
+    @property
+    def decided_all(self) -> bool:
+        return not self.record.undecided_pids
+
+    def outcome(self) -> RunOutcome:
+        return self.record.to_outcome()
+
+    def max_lag_after_ts(self) -> Optional[float]:
+        return self.record.metrics.get("max_lag_after_ts")
+
+    @property
+    def simulator(self) -> Any:
+        raise ExperimentError(
+            f"run {self.record.key} was loaded from a result store and has no "
+            "simulator; metrics that inspect the simulator need a fresh run "
+            "(sweep without resume=True)"
+        )
 
 ScenarioFactory = Callable[[Any, int], Scenario]
 """Builds the scenario for (sweep point value, seed)."""
@@ -36,10 +74,15 @@ MetricFn = Callable[[RunResult], Optional[float]]
 
 @dataclass
 class SweepPoint:
-    """All runs of one sweep point (one value, several seeds)."""
+    """All runs of one sweep point (one value, several seeds).
+
+    Entries are :class:`~repro.harness.runner.RunResult`\\ s for freshly
+    executed runs, or :class:`StoredRunResult`\\ s when a resumed sweep
+    satisfied the run from its store.
+    """
 
     value: Any
-    results: List[RunResult] = field(default_factory=list)
+    results: List[Union[RunResult, "StoredRunResult"]] = field(default_factory=list)
 
     def metric_values(self, metric: MetricFn) -> List[float]:
         values = [metric(result) for result in self.results]
@@ -87,6 +130,8 @@ def sweep(
     protocol_kwargs: Optional[Dict[str, Any]] = None,
     enforce_safety: bool = True,
     executor: Optional[Executor] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Run ``protocol`` for every (value, seed) combination.
 
@@ -102,9 +147,27 @@ def sweep(
 
     ``executor`` must be serial-capable (the default
     :class:`SerialExecutor` is) because sweep points retain full results.
+
+    ``store`` (a :class:`~repro.results.store.ResultStore` or path) records
+    every executed run under its content key; with ``resume=True``, runs
+    already present are loaded as :class:`StoredRunResult`\\ s instead of
+    executed.  Both need the declarative identity a registry name provides,
+    so they require ``workload`` mode and a protocol given by name.
     """
     if (scenario_factory is None) == (workload is None):
         raise ExperimentError("pass exactly one of scenario_factory or workload")
+    if store is not None or resume:
+        if workload is None:
+            raise ExperimentError(
+                "sweep store/resume need a registry workload name; an arbitrary "
+                "scenario_factory has no stable content key"
+            )
+        if not isinstance(protocol, str):
+            raise ExperimentError(
+                "sweep store/resume need the protocol by registry name, not a builder"
+            )
+        if resume and store is None:
+            raise ExperimentError("resume=True needs a store to resume from")
     if workload is not None:
         workload_registry = registry if registry is not None else default_workload_registry()
         fixed = dict(workload_kwargs or {})
@@ -117,25 +180,64 @@ def sweep(
     elif workload_kwargs is not None:
         raise ExperimentError("workload_kwargs only applies when sweeping a named workload")
 
+    store_obj = None
+    opened_store = False
+    if store is not None:
+        from repro.results.store import open_store
+
+        opened_store = not hasattr(store, "put")
+        store_obj = open_store(store)
+
+    def task_for(value: Any, seed: int) -> RunTask:
+        return RunTask(
+            protocol=protocol,  # store mode guarantees this is a name
+            workload=workload,
+            workload_kwargs={**dict(workload_kwargs or {}), parameter: value, "seed": seed},
+            protocol_kwargs=dict(protocol_kwargs or {}),
+            tags={parameter: value, "protocol": protocol, "seed": seed},
+        )
+
     executor = executor if executor is not None else SerialExecutor()
     protocol_name = protocol if isinstance(protocol, str) else None
     result = SweepResult(parameter=parameter, protocol=protocol_name or "custom", points=[])
-    for value in values:
-        point = SweepPoint(value=value)
-        for seed in seeds:
-            scenario = scenario_factory(value, seed)
-            if isinstance(protocol, (str, ProtocolBuilder)):
-                run_protocol: Union[str, ProtocolBuilder] = protocol
-            else:
-                run_protocol = protocol()
-            run = executor.run_result(
-                scenario,
-                run_protocol,
-                protocol_kwargs=protocol_kwargs,
-                enforce_safety=enforce_safety,
-            )
-            if result.protocol == "custom":
-                result.protocol = run.protocol
-            point.results.append(run)
-        result.points.append(point)
+    try:
+        for value in values:
+            point = SweepPoint(value=value)
+            for seed in seeds:
+                key = None
+                if store_obj is not None:
+                    from repro.results.record import content_key_for_task
+
+                    key = content_key_for_task(task_for(value, seed))
+                    if resume:
+                        record = store_obj.get(key)
+                        if record is not None:
+                            point.results.append(StoredRunResult(record))
+                            continue
+                scenario = scenario_factory(value, seed)
+                if isinstance(protocol, (str, ProtocolBuilder)):
+                    run_protocol: Union[str, ProtocolBuilder] = protocol
+                else:
+                    run_protocol = protocol()
+                run = executor.run_result(
+                    scenario,
+                    run_protocol,
+                    protocol_kwargs=protocol_kwargs,
+                    enforce_safety=enforce_safety,
+                )
+                if result.protocol == "custom":
+                    result.protocol = run.protocol
+                if store_obj is not None:
+                    from repro.results.record import RunRecord
+
+                    store_obj.put(
+                        RunRecord.from_task(task_for(value, seed), snapshot_outcome(run), key=key)
+                    )
+                point.results.append(run)
+            result.points.append(point)
+    finally:
+        if store_obj is not None:
+            store_obj.flush()
+            if opened_store:
+                store_obj.close()
     return result

@@ -1,0 +1,89 @@
+"""First-class results: schema-versioned records, pluggable stores, queries.
+
+This package is the durable fourth layer of the harness stack.  The scenario
+registry names *what* to run, the executors decide *how*, the environment
+specs pin *under which conditions* — and ``repro.results`` owns what every
+run *produced*:
+
+* :class:`~repro.results.record.RunRecord` — one run frozen as plain,
+  JSON-round-trippable data under an explicit schema version, addressed by
+  a stable content key ``(protocol, workload, env-hash, n, ts, delta,
+  seed)`` derivable from the declarative task alone;
+* :class:`~repro.results.store.ResultStore` — the backend contract, with
+  :class:`~repro.results.store.MemoryStore`,
+  :class:`~repro.results.store.JsonlStore` (append-only log + atomic
+  index), and :class:`~repro.results.store.SqliteStore` (indexed queries)
+  implementations behind :func:`~repro.results.store.open_store`;
+* :mod:`~repro.results.query` — record-level aggregation and the bridge
+  back into :class:`~repro.harness.experiment.ResultSet`, so the existing
+  tables and stats run unchanged on stored data.
+
+Because simulations are seeded and deterministic, a stored record is a
+faithful substitute for re-executing its task: the harness layers
+(``run_experiment``, ``run_campaign``, ``sweep``, the E1–E8 experiment
+functions) accept ``store=``/``resume=`` and load any record already
+present under a task's content key instead of running it, which is what
+makes interrupted or sharded campaigns resumable.
+
+Schema-version policy
+=====================
+
+``RunRecord.schema_version`` (currently
+:data:`~repro.results.record.SCHEMA_VERSION` = 1) is a single integer
+bumped whenever the serialized shape changes incompatibly.  The contract:
+
+* **Writers** always emit the current version; stores never rewrite old
+  records in place.
+* **Readers** accept any version ``<=`` the current one —
+  ``RunRecord.from_dict`` is responsible for upgrading older shapes as
+  versions are added (missing-field defaults cover additive changes
+  without a bump) — and raise
+  :class:`~repro.errors.ResultSchemaError` on versions *newer* than they
+  understand, rather than guessing.
+* **Content keys** embed the schema version in the hashed fingerprint, so
+  a record written under an incompatible schema never masquerades as a
+  cache hit for a task keyed under the current one.
+* Values that JSON cannot represent faithfully are rejected with
+  :class:`~repro.errors.ResultSchemaError` (naming the offending keys)
+  when the record is built — never silently coerced at read time.
+"""
+
+from repro.results.query import (
+    LagAggregate,
+    diff_aggregates,
+    export_csv,
+    export_json,
+    lag_aggregates,
+    result_set_of,
+)
+from repro.results.record import (
+    SCHEMA_VERSION,
+    RunRecord,
+    content_key_for_task,
+    task_fingerprint,
+)
+from repro.results.store import (
+    JsonlStore,
+    MemoryStore,
+    ResultStore,
+    SqliteStore,
+    open_store,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "JsonlStore",
+    "LagAggregate",
+    "MemoryStore",
+    "ResultStore",
+    "RunRecord",
+    "SqliteStore",
+    "content_key_for_task",
+    "diff_aggregates",
+    "export_csv",
+    "export_json",
+    "lag_aggregates",
+    "open_store",
+    "result_set_of",
+    "task_fingerprint",
+]

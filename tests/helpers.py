@@ -17,7 +17,7 @@ from repro.sim.process import Process, ProcessContext
 from repro.sim.rng import SeededRng
 from repro.storage.stable import StableStore
 
-__all__ = ["ContextHarness", "SentMessage", "make_params"]
+__all__ = ["ContextHarness", "SentMessage", "make_params", "make_run_record"]
 
 
 def make_params(**overrides: Any) -> TimingParams:
@@ -25,6 +25,44 @@ def make_params(**overrides: Any) -> TimingParams:
     values = {"delta": 1.0, "rho": 0.0, "epsilon": 0.5}
     values.update(overrides)
     return TimingParams(**values)
+
+
+def make_run_record(
+    protocol: str = "modified-paxos",
+    workload: str = "partitioned-chaos",
+    n: int = 3,
+    seed: int = 1,
+    lag: Optional[float] = 2.5,
+    key: Optional[str] = None,
+    **tags: Any,
+):
+    """A synthetic, fully populated RunRecord (no simulation involved)."""
+    from repro.consensus.values import DecisionOutcome, RunOutcome
+    from repro.results.record import RunRecord
+
+    outcome = RunOutcome(
+        protocol=protocol,
+        n=n,
+        ts=10.0,
+        delta=1.0,
+        seed=seed,
+        decisions=[
+            DecisionOutcome(pid=pid, value=f"v{pid % 2}", time=10.0 + (lag or 0.0),
+                            after_stability=lag or 0.0)
+            for pid in range(n)
+        ],
+        proposals={pid: f"v{pid % 2}" for pid in range(n)},
+        messages_sent=10 * n,
+        messages_delivered=9 * n,
+        duration=12.5,
+        extra={"max_lag_after_ts": lag, "safety_valid": True, "events": 100},
+    )
+    return RunRecord.from_outcome(
+        outcome,
+        workload=workload,
+        key=key if key is not None else f"{protocol}/{workload}/feedc0ffee00/n{n}-ts10-d1-s{seed}",
+        tags={"protocol": protocol, "seed": seed, "n": n, **tags},
+    )
 
 
 @dataclass(frozen=True)

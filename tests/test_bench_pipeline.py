@@ -14,6 +14,7 @@ from repro.harness.bench import (
     kernel_event_loop,
     kernel_event_queue,
     kernel_network,
+    kernel_result_store,
     kernel_trace,
 )
 
@@ -104,6 +105,17 @@ class TestKernels:
     def test_trace_kernel(self):
         stats = kernel_trace(records=2_000, repeats=1)
         assert stats["records_per_sec"] > 0
+
+    @pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+    def test_result_store_kernel(self, backend):
+        stats = kernel_result_store(backend, records=50, repeats=1)
+        assert stats["backend"] == backend
+        assert stats["records"] == 50
+        assert stats["records_per_sec"] > 0
+
+    def test_result_store_kernels_are_gated(self):
+        assert PRIMARY_METRICS["result_store_jsonl"] == "records_per_sec"
+        assert PRIMARY_METRICS["result_store_sqlite"] == "records_per_sec"
 
 
 class TestBenchCli:
