@@ -68,27 +68,34 @@ from repro.harness.executors import (
     ParallelExecutor,
     RunTask,
     SerialExecutor,
+    SmrTask,
     make_executor,
 )
 from repro.harness.experiment import (
     ExperimentSpec,
     ResultRow,
     ResultSet,
+    SmrExperimentSpec,
+    SmrResultRow,
     lag_delta,
     run_experiment,
+    run_smr_tasks,
 )
 from repro.harness.runner import RunResult, run_scenario
-from repro.harness.sweep import sweep
+from repro.harness.sweep import smr_sweep, sweep
 from repro.params import TimingParams
 from repro.results import (
     JsonlStore,
     MemoryStore,
     ResultStore,
     RunRecord,
+    SmrRecord,
     SqliteStore,
     content_key_for_task,
     open_store,
 )
+from repro.smr.runner import run_smr
+from repro.smr.workload import CommandSchedule, ScheduleSpec, uniform_schedule
 from repro.sim.simulator import SimulationConfig, Simulator
 from repro.workloads.chaos import lossy_chaos_scenario, partitioned_chaos_scenario
 from repro.workloads.coordinator_faults import coordinator_crash_scenario
@@ -106,6 +113,7 @@ from repro.workloads.stable import stable_scenario
 
 __all__ = [
     "AdversarySpec",
+    "CommandSchedule",
     "EnvironmentRegistry",
     "EnvironmentSpec",
     "Executor",
@@ -128,8 +136,13 @@ __all__ = [
     "Scenario",
     "ScenarioRegistry",
     "SerialExecutor",
+    "ScheduleSpec",
     "SimulationConfig",
     "Simulator",
+    "SmrExperimentSpec",
+    "SmrRecord",
+    "SmrResultRow",
+    "SmrTask",
     "TimingParams",
     "__version__",
     "asymmetric_link_scenario",
@@ -152,6 +165,10 @@ __all__ = [
     "restart_decision_bound",
     "run_experiment",
     "run_scenario",
+    "run_smr",
+    "run_smr_tasks",
+    "smr_sweep",
     "stable_scenario",
     "sweep",
+    "uniform_schedule",
 ]

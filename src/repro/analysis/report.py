@@ -4,7 +4,9 @@ The harness returns structured :class:`repro.harness.runner.RunResult`
 objects; this module renders them as text for the CLI, the examples, and for
 debugging sessions ("why was this run slow?").  Stored
 :class:`~repro.results.record.RunRecord`\\ s get the same treatment via
-:func:`render_record_report` (the ``repro results show`` renderer).
+:func:`render_record_report` (the ``repro results show`` renderer, which
+dispatches to :func:`render_smr_record_report` for multi-decree records);
+SMR runs render through :func:`render_smr_run_report`.
 """
 
 from __future__ import annotations
@@ -17,8 +19,15 @@ from repro.harness.tables import render_table
 if TYPE_CHECKING:  # pragma: no cover
     from repro.harness.runner import RunResult
     from repro.results.record import RunRecord
+    from repro.results.smr_record import SmrRecord
+    from repro.smr.runner import SmrRunResult
 
-__all__ = ["render_record_report", "render_run_report"]
+__all__ = [
+    "render_record_report",
+    "render_run_report",
+    "render_smr_record_report",
+    "render_smr_run_report",
+]
 
 
 def _decision_rows(result: "RunResult") -> List[List[object]]:
@@ -94,13 +103,16 @@ def render_run_report(result: "RunResult") -> str:
     return "\n".join(lines)
 
 
-def render_record_report(record: "RunRecord") -> str:
-    """Render one stored run record as a multi-section text report.
+def render_record_report(record) -> str:
+    """Render one stored record (of either kind) as a multi-section report.
 
     The stored counterpart of :func:`render_run_report`: everything here
     comes from the record's serialized data alone, so any store can be
     inspected without re-running (or even being able to re-run) the task.
+    Multi-decree records dispatch to :func:`render_smr_record_report`.
     """
+    if getattr(record, "kind", "run") == "smr":
+        return render_smr_record_report(record)
     lines: List[str] = []
     lines.append(f"run record: {record.key}")
     lines.append(
@@ -141,6 +153,126 @@ def render_record_report(record: "RunRecord") -> str:
     lines.append(f"worst decision lag after TS : {lag_text}")
     safety = record.metrics.get("safety_valid")
     lines.append(f"safety                      : {'OK' if safety else safety}")
+    lines.append(
+        f"messages: sent={record.messages_sent} delivered={record.messages_delivered}  "
+        f"simulated time: {record.duration:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def _command_rows(commands, expected_replicas) -> List[List[object]]:
+    """One table row per command: origin, submit time, latencies, coverage."""
+    expected = set(expected_replicas)
+    rows: List[List[object]] = []
+    for record in commands:
+        submitter = record.submitter_latency
+        global_ = record.global_latency
+        learned = len(expected & set(record.learned_times)) if expected else 0
+        rows.append(
+            [
+                record.command_id,
+                f"p{record.origin}",
+                f"{record.submit_time:.3f}",
+                f"{submitter:.3f}" if submitter is not None else "-",
+                f"{global_:.3f}" if global_ is not None else "-",
+                f"{learned}/{len(expected)}",
+            ]
+        )
+    return rows
+
+
+_COMMAND_HEADERS = [
+    "command", "origin", "submitted", "submitter latency", "global latency", "learned by"
+]
+
+
+def render_smr_run_report(result: "SmrRunResult") -> str:
+    """Render one finished SMR run as a multi-section text report."""
+    config = result.scenario.config
+    lines: List[str] = []
+    lines.append(
+        f"smr run report: multi-paxos-smr scenario={result.scenario.name} "
+        f"({result.schedule.describe()})"
+    )
+    lines.append(
+        f"  model: n={config.n} ts={config.ts:g} seed={config.seed} "
+        f"{config.params.describe()}"
+    )
+    lines.append(f"  faults: {result.scenario.fault_plan.describe()}")
+    lines.append("")
+    lines.append("commands:")
+    lines.append(
+        render_table(
+            _COMMAND_HEADERS,
+            _command_rows(result.commands.values(), result.scenario.deciders()),
+            indent="  ",
+        )
+    )
+    lines.append("")
+    worst_submitter = result.worst_submitter_latency()
+    worst_global = result.worst_global_latency()
+    submit_text = f"{worst_submitter:.3f}" if worst_submitter is not None else "n/a"
+    global_text = f"{worst_global:.3f}" if worst_global is not None else "n/a"
+    lines.append(f"worst submitter latency     : {submit_text}")
+    lines.append(f"worst global latency        : {global_text}")
+    lines.append(
+        "replicas agree              : "
+        + ("OK" if result.replicas_agree else "DIVERGED")
+    )
+    lines.append(
+        "learned prefixes            : "
+        + " ".join(f"p{pid}={length}" for pid, length in sorted(result.prefix_lengths.items()))
+    )
+    lines.append(f"log consistency checks      : {result.consistency_checks}")
+    for name, report in sorted(result.invariants.items()):
+        status = "OK" if report.ok else "; ".join(report.violations)
+        lines.append(f"invariant {name:18s}: {status} ({report.checked} checks)")
+    lines.append(f"simulated time: {result.simulator.now():.3f}")
+    return "\n".join(lines)
+
+
+def render_smr_record_report(record: "SmrRecord") -> str:
+    """Render one stored SMR record as a multi-section text report."""
+    lines: List[str] = []
+    lines.append(f"smr record: {record.key}")
+    lines.append(
+        f"  identity: protocol={record.protocol} workload={record.workload} "
+        f"n={record.n} ts={record.ts:g} delta={record.delta:g} seed={record.seed} "
+        f"(schema v{record.schema_version})"
+    )
+    if record.tags:
+        tag_text = " ".join(f"{key}={value!r}" for key, value in sorted(record.tags.items()))
+        lines.append(f"  tags: {tag_text}")
+    environment = record.environment
+    if environment:
+        name = environment.get("name", "")
+        adversary = environment.get("adversary", {}).get("kind", "?")
+        faults = environment.get("faults", {}).get("kind", "none")
+        label = f"{name}: " if name else ""
+        lines.append(f"  environment: {label}adversary={adversary} faults={faults}")
+    lines.append("")
+    lines.append("commands:")
+    lines.append(
+        render_table(
+            _COMMAND_HEADERS,
+            _command_rows(record.commands, record.expected_replicas),
+            indent="  ",
+        )
+    )
+    lines.append("")
+    metrics = record.metrics
+    for label, key in (
+        ("worst submitter latency", "worst_submitter_latency"),
+        ("worst global latency", "worst_global_latency"),
+    ):
+        value = metrics.get(key)
+        text = f"{value:.3f}" if value is not None else "n/a"
+        lines.append(f"{label:28s}: {text}")
+    lines.append(f"{'replicas agree':28s}: {'OK' if metrics.get('replicas_agree') else 'DIVERGED'}")
+    lines.append(
+        f"{'learned prefixes':28s}: "
+        + " ".join(f"p{pid}={length}" for pid, length in sorted(record.prefix_lengths.items()))
+    )
     lines.append(
         f"messages: sent={record.messages_sent} delivered={record.messages_delivered}  "
         f"simulated time: {record.duration:.3f}"

@@ -85,8 +85,11 @@ def _t_critical(dof: int, confidence: float) -> float:
         from scipy import stats as scipy_stats  # type: ignore
 
         return float(scipy_stats.t.ppf(0.5 + confidence / 2.0, dof))
-    except Exception:  # pragma: no cover - scipy is present in the test env
-        return 1.96
+    except Exception:
+        # Without scipy, fall back to the normal quantile at the *requested*
+        # confidence level (the t-quantile's large-dof limit).  A constant
+        # 1.96 here would silently compute every interval at 95%.
+        return float(statistics.NormalDist().inv_cdf(0.5 + confidence / 2.0))
 
 
 def confidence_interval(

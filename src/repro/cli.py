@@ -3,6 +3,7 @@
 Seven subcommands::
 
     python -m repro run --protocol modified-paxos --workload partitioned-chaos --n 7 --seed 42
+    python -m repro run --workload smr-stable --n 9 --commands 20 --target-pid 0
     python -m repro run --env churn --n 7
     python -m repro list-protocols
     python -m repro list-workloads
@@ -14,9 +15,12 @@ Seven subcommands::
 ``run`` executes a single (workload, protocol) pair and prints the run
 report; workloads are resolved by name through the
 :class:`~repro.workloads.registry.ScenarioRegistry`, protocols through the
-:class:`~repro.consensus.registry.ProtocolRegistry`.  ``run --env`` instead
-takes a declarative environment — a name from the
-:class:`~repro.env.registry.EnvironmentRegistry` or an inline
+:class:`~repro.consensus.registry.ProtocolRegistry`.  Choosing an ``smr-*``
+workload instead runs the multi-decree Modified Paxos service
+(:mod:`repro.smr`) under a uniform command schedule shaped by
+``--commands`` / ``--command-start`` / ``--command-interval`` /
+``--target-pid``.  ``run --env`` takes a declarative environment — a name
+from the :class:`~repro.env.registry.EnvironmentRegistry` or an inline
 :class:`~repro.env.spec.EnvironmentSpec` JSON object — and runs it as a
 scenario.  ``experiments`` delegates to the campaign runner
 (:mod:`repro.harness.campaign`); with ``--jobs N`` the runs fan out over a
@@ -46,6 +50,7 @@ from repro.harness.runner import run_scenario
 from repro.params import TimingParams
 from repro.workloads.environments import environment_scenario
 from repro.workloads.registry import ScenarioRegistry, default_workload_registry
+from repro.workloads.smr import is_smr_workload
 from repro.workloads.scenario import Scenario
 
 __all__ = ["main", "build_parser", "WORKLOADS"]
@@ -90,7 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="run one workload with one protocol")
-    run_parser.add_argument("--protocol", default="modified-paxos")
+    # Default None so an explicit --protocol can be detected when it conflicts
+    # with an smr-* workload (whose protocol is always multi-paxos-smr).
+    run_parser.add_argument("--protocol", default=None,
+                            help="protocol name (default: modified-paxos)")
     # Default None so an explicit --workload can be distinguished from the
     # fallback when it conflicts with --env; resolved in _command_run.
     run_parser.add_argument("--workload", choices=WORKLOADS, default=None,
@@ -111,6 +119,19 @@ def build_parser() -> argparse.ArgumentParser:
                             help="report safety violations instead of raising")
     run_parser.add_argument("--timeline", action="store_true",
                             help="also print a per-process timeline of the run")
+    smr_group = run_parser.add_argument_group(
+        "smr workloads", "command schedule for smr-* workloads (ignored otherwise)"
+    )
+    smr_group.add_argument("--commands", type=int, default=10,
+                           help="number of uniform commands to submit (default 10)")
+    smr_group.add_argument("--command-start", type=float, default=10.0,
+                           help="submission time of the first command (default 10)")
+    smr_group.add_argument("--command-interval", type=float, default=0.7,
+                           help="spacing between consecutive commands (default 0.7)")
+    smr_group.add_argument("--target-pid", type=int, default=None,
+                           help="submit every command at this replica (default: round-robin)")
+    smr_group.add_argument("--machine", choices=("kv", "ledger"), default="kv",
+                           help="state machine the replicas apply (default kv)")
 
     subparsers.add_parser("list-protocols", help="list registered protocols")
     list_workloads = subparsers.add_parser(
@@ -215,14 +236,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _command_run_smr(args: argparse.Namespace, params: TimingParams) -> int:
+    """Run an ``smr-*`` workload through the multi-decree service."""
+    from repro.analysis.report import render_smr_run_report
+    from repro.errors import ExperimentError, ReproError
+    from repro.harness.executors import SmrTask, execute_smr_task_result
+    from repro.smr.workload import ScheduleSpec
+
+    kwargs = {"n": args.n, "params": params, "seed": args.seed}
+    if args.ts is not None:
+        kwargs["ts"] = args.ts
+    task = SmrTask(
+        workload=args.workload,
+        workload_kwargs=kwargs,
+        schedule=ScheduleSpec(
+            num_commands=args.commands,
+            start=args.command_start,
+            interval=args.command_interval,
+            target_pid=args.target_pid,
+        ),
+        machine=args.machine,
+        # --allow-unsafe mirrors the single-decree run: invariant violations
+        # are reported in the output instead of raised.
+        enforce_consistency=not args.allow_unsafe,
+    )
+    try:
+        result = execute_smr_task_result(task)
+    except (ConfigurationError, ExperimentError) as error:
+        print(error)
+        return 2
+    except ReproError as error:
+        print(f"run failed: {error}")
+        return 1
+    print(render_smr_run_report(result))
+    if args.timeline:
+        print()
+        print("per-process timeline:")
+        config = result.scenario.config
+        print(render_timelines(result.simulator.trace, config.n, ts=config.ts))
+    ok = result.replicas_agree and result.all_commands_learned_everywhere
+    ok = ok and all(report.ok for report in result.invariants.values())
+    return 0 if ok else 1
+
+
 def _command_run(args: argparse.Namespace) -> int:
     params = TimingParams(delta=args.delta, rho=args.rho, epsilon=args.epsilon)
     registry = default_registry()
-    if args.protocol not in registry:
-        print(f"unknown protocol {args.protocol!r}; available: {', '.join(registry.names())}")
-        return 2
     if args.env is not None and args.workload is not None:
         print("pass either --workload or --env, not both")
+        return 2
+    if args.workload is not None and is_smr_workload(args.workload):
+        if args.protocol is not None and args.protocol != "multi-paxos-smr":
+            print(f"workload {args.workload!r} always runs the multi-decree service "
+                  "(multi-paxos-smr); drop --protocol")
+            return 2
+        return _command_run_smr(args, params)
+    protocol = args.protocol if args.protocol is not None else "modified-paxos"
+    if protocol not in registry:
+        print(f"unknown protocol {protocol!r}; available: {', '.join(registry.names())}")
         return 2
     try:
         if args.env is not None:
@@ -236,7 +307,7 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     result = run_scenario(
         scenario,
-        args.protocol,
+        protocol,
         registry=registry,
         enforce_safety=not args.allow_unsafe,
         enforce_invariants=not args.allow_unsafe,

@@ -36,6 +36,13 @@ Kernels deliberately exercise *disjoint* layers:
     query round trips over realistic :class:`~repro.results.record.RunRecord`
     payloads, so the artifact tracks persistence overhead next to the
     simulation rates.
+``smr_serial`` / ``smr_parallel``
+    A batch of declarative :class:`~repro.harness.executors.SmrTask`\\ s
+    (multi-decree Modified Paxos under a uniform command stream) executed
+    through the :class:`~repro.harness.executors.SerialExecutor` and the
+    process-pool :class:`~repro.harness.executors.ParallelExecutor`, in
+    commands/sec — the end-to-end rate of the unified SMR pipeline, with the
+    parallel variant also paying (and amortizing) pool spin-up.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ __all__ = [
     "compare_to_baseline",
     "find_latest_baseline",
     "kernel_result_store",
+    "kernel_smr",
     "run_bench",
     "write_bench",
 ]
@@ -80,6 +88,8 @@ PRIMARY_METRICS: Dict[str, str] = {
     "trace_record": "records_per_sec",
     "result_store_jsonl": "records_per_sec",
     "result_store_sqlite": "records_per_sec",
+    "smr_serial": "commands_per_sec",
+    "smr_parallel": "commands_per_sec",
 }
 
 
@@ -298,6 +308,59 @@ def kernel_result_store(
     return result
 
 
+def _smr_bench_tasks(runs: int, n: int, commands: int) -> List[Any]:
+    from repro.harness.executors import SmrTask
+    from repro.smr.workload import ScheduleSpec
+
+    params = TimingParams(delta=1.0, rho=0.01, epsilon=0.5)
+    return [
+        SmrTask(
+            workload="smr-stable",
+            workload_kwargs={"n": n, "params": params, "seed": seed},
+            schedule=ScheduleSpec(num_commands=commands, start=10.0, interval=0.7,
+                                  target_pid=n - 1),
+        )
+        for seed in range(1, runs + 1)
+    ]
+
+
+def kernel_smr(
+    parallel: bool, runs: int = 4, n: int = 5, commands: int = 20, repeats: int = 3
+) -> Dict[str, Any]:
+    """End-to-end SMR pipeline rate: declarative tasks through an executor.
+
+    Measures the full unified path — registry scenario build, multi-decree
+    simulation, outcome snapshot — in replicated commands/sec.  The parallel
+    variant runs the same batch through a two-worker process pool (spin-up
+    included, then amortized across repeats by pool reuse).
+    """
+    from repro.harness.executors import ParallelExecutor, SerialExecutor
+
+    tasks = _smr_bench_tasks(runs, n, commands)
+    executor = ParallelExecutor(jobs=2) if parallel else SerialExecutor()
+
+    def run() -> Tuple[float, Dict[str, Any]]:
+        start = time.perf_counter()
+        outcomes = executor.map(tasks)
+        wall = time.perf_counter() - start
+        learned = sum(len(outcome.commands) for outcome in outcomes)
+        return wall, {
+            "runs": runs,
+            "commands": learned,
+            "commands_per_sec": 0.0,
+            "executor": executor.describe(),
+        }
+
+    try:
+        result = _best_of(repeats, run)
+    finally:
+        close = getattr(executor, "close", None)
+        if close is not None:
+            close()
+    result["commands_per_sec"] = result["commands"] / result["wall_s"]
+    return result
+
+
 def macro_e1(ns: Tuple[int, ...] = (3, 5, 7, 9), repeats: int = 3) -> Dict[str, Any]:
     """One E1-style macro run: the Modified Paxos scaling experiment, smoke-sized."""
     from repro.harness.experiments import (
@@ -336,10 +399,12 @@ def run_bench(quick: bool = False, label: str = "") -> Dict[str, Any]:
         loop_events, queue_events, trace_records = 50_000, 50_000, 50_000
         net_time, repeats, macro_ns, macro_repeats = 15.0, 3, (3, 5), 1
         store_records = 300
+        smr_runs, smr_commands = 2, 8
     else:
         loop_events, queue_events, trace_records = 200_000, 200_000, 200_000
         net_time, repeats, macro_ns, macro_repeats = 60.0, 5, (3, 5, 7, 9), 3
         store_records = 1_000
+        smr_runs, smr_commands = 4, 20
 
     kernels = {
         "event_loop_trace_off": kernel_event_loop(False, events=loop_events, repeats=repeats),
@@ -356,6 +421,12 @@ def run_bench(quick: bool = False, label: str = "") -> Dict[str, Any]:
         ),
         "result_store_sqlite": kernel_result_store(
             "sqlite", records=store_records, repeats=macro_repeats
+        ),
+        "smr_serial": kernel_smr(
+            False, runs=smr_runs, commands=smr_commands, repeats=macro_repeats
+        ),
+        "smr_parallel": kernel_smr(
+            True, runs=smr_runs, commands=smr_commands, repeats=macro_repeats
         ),
     }
     return {

@@ -12,9 +12,10 @@ table to ``<out>/E*.txt``, and produces a combined Markdown report
 measured values — the same material EXPERIMENTS.md records for the checked-in
 reference run.
 
-Every run of every experiment streams its
-:class:`~repro.results.record.RunRecord` into a
-:class:`~repro.results.store.ResultStore` — a durable one named by
+Every run of every experiment streams its record — a
+:class:`~repro.results.record.RunRecord` for the single-decree experiments,
+an :class:`~repro.results.smr_record.SmrRecord` for E9's multi-decree runs —
+into a :class:`~repro.results.store.ResultStore`: a durable one named by
 ``--store`` or a process-local :class:`~repro.results.store.MemoryStore`
 by default, so :meth:`CampaignResult.to_store` always has records to copy.
 With ``--resume``, runs whose content key is already in the store are

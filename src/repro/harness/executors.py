@@ -1,20 +1,23 @@
 """Pluggable executors: run batches of declarative run tasks, possibly in parallel.
 
-The unit of work is a :class:`RunTask` — a fully declarative description of
-one run: a workload *name* (resolved through the
-:class:`~repro.workloads.registry.ScenarioRegistry`), its keyword arguments,
-a protocol *name* (resolved through the
-:class:`~repro.consensus.registry.ProtocolRegistry`), and the run flags.
-Because a task is plain picklable data, the same task can be executed
-in-process by :class:`SerialExecutor` or shipped to a worker process by
-:class:`ParallelExecutor`; what comes back in either case is a
-:class:`~repro.consensus.values.RunOutcome` (plus a few aggregation extras),
-never a :class:`~repro.sim.simulator.Simulator`.  Simulations are seeded and
+The unit of work is a declarative task — either a :class:`RunTask` (one
+single-decree consensus run: a workload *name* resolved through the
+:class:`~repro.workloads.registry.ScenarioRegistry`, its keyword arguments,
+a protocol *name* resolved through the
+:class:`~repro.consensus.registry.ProtocolRegistry`, and the run flags) or
+an :class:`SmrTask` (one multi-decree run: an SMR workload name, a
+declarative :class:`~repro.smr.workload.ScheduleSpec`, and a state-machine
+name).  Because a task is plain picklable data, the same task can be
+executed in-process by :class:`SerialExecutor` or shipped to a worker
+process by :class:`ParallelExecutor`; what comes back in either case is a
+condensed outcome (:class:`~repro.consensus.values.RunOutcome` or
+:class:`~repro.smr.outcome.SmrOutcome`), never a
+:class:`~repro.sim.simulator.Simulator`.  Simulations are seeded and
 deterministic, so serial and parallel execution of the same tasks produce
 identical outcomes.
 
-:func:`run_scenario` remains the single-run primitive: executors call it,
-they do not replace it.
+:func:`run_scenario` and :func:`~repro.smr.runner.run_smr` remain the
+single-run primitives: executors call them, they do not replace them.
 """
 
 from __future__ import annotations
@@ -22,13 +25,17 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.consensus.base import ProtocolBuilder
 from repro.consensus.registry import ProtocolRegistry
 from repro.consensus.values import RunOutcome
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.harness.runner import RunResult, run_scenario
+from repro.smr.outcome import SMR_PROTOCOL, SmrOutcome, snapshot_smr_outcome
+from repro.smr.runner import SmrRunResult, run_smr
+from repro.smr.state_machine import AppendOnlyLedger, KeyValueStore
+from repro.smr.workload import ScheduleSpec
 from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.scenario import Scenario
 
@@ -37,11 +44,36 @@ __all__ = [
     "ParallelExecutor",
     "RunTask",
     "SerialExecutor",
+    "SmrTask",
+    "execute_smr_task",
+    "execute_smr_task_result",
     "execute_task",
     "execute_task_result",
+    "machine_factory_for",
     "make_executor",
     "snapshot_outcome",
 ]
+
+AnyTask = Union["RunTask", "SmrTask"]
+AnyOutcome = Union[RunOutcome, SmrOutcome]
+
+# State machines a declarative SMR task may name (factories must be
+# module-level so tasks pickle under every multiprocessing start method).
+_MACHINE_FACTORIES: Mapping[str, Callable[[], Any]] = {
+    "kv": KeyValueStore,
+    "ledger": AppendOnlyLedger,
+}
+
+
+def machine_factory_for(name: str) -> Callable[[], Any]:
+    """Resolve a declarative state-machine name into its factory."""
+    factory = _MACHINE_FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown state machine {name!r}; available: "
+            f"{', '.join(sorted(_MACHINE_FACTORIES))}"
+        )
+    return factory
 
 
 @dataclass(frozen=True)
@@ -68,6 +100,39 @@ class RunTask:
     def describe(self) -> str:
         labels = " ".join(f"{key}={value!r}" for key, value in sorted(self.tags.items()))
         return f"{self.protocol} on {self.workload}" + (f" [{labels}]" if labels else "")
+
+
+@dataclass(frozen=True)
+class SmrTask:
+    """One declarative multi-decree (SMR) run.
+
+    The multi-decree counterpart of :class:`RunTask`: a workload *name*
+    (resolved through the scenario registry — any workload works, the
+    ``smr-*`` family carries SMR-sized defaults), its keyword arguments, a
+    declarative :class:`~repro.smr.workload.ScheduleSpec`, and the name of
+    the state machine replicas apply (``"kv"`` or ``"ledger"``).  The
+    protocol is always the multi-decree Modified Paxos service
+    (:data:`~repro.smr.outcome.SMR_PROTOCOL`), so no protocol field is
+    needed — ``task.protocol`` is a class constant, which keeps the content
+    key shape identical to single-decree tasks.
+    """
+
+    workload: str
+    schedule: ScheduleSpec
+    workload_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    machine: str = "kv"
+    enforce_consistency: bool = True
+    tags: Mapping[str, Any] = field(default_factory=dict)
+
+    kind = "smr"
+    protocol = SMR_PROTOCOL
+
+    def describe(self) -> str:
+        labels = " ".join(f"{key}={value!r}" for key, value in sorted(self.tags.items()))
+        return (
+            f"{self.protocol} on {self.workload} ({self.schedule.describe()})"
+            + (f" [{labels}]" if labels else "")
+        )
 
 
 def build_task_scenario(
@@ -133,25 +198,53 @@ def execute_task_result(
     )
 
 
-def execute_task(task: RunTask) -> RunOutcome:
-    """Execute one task and return its condensed outcome.
+def execute_smr_task_result(
+    task: SmrTask,
+    *,
+    workload_registry: Optional[ScenarioRegistry] = None,
+) -> SmrRunResult:
+    """Execute one SMR task in-process and keep the full result."""
+    scenario = build_task_scenario(task, registry=workload_registry)
+    schedule = task.schedule.to_schedule(scenario.config.n)
+    return run_smr(
+        scenario,
+        schedule,
+        machine_factory=machine_factory_for(task.machine),
+        enforce_consistency=task.enforce_consistency,
+    )
+
+
+def execute_smr_task(
+    task: SmrTask,
+    *,
+    workload_registry: Optional[ScenarioRegistry] = None,
+) -> SmrOutcome:
+    """Execute one SMR task and return its condensed outcome."""
+    result = execute_smr_task_result(task, workload_registry=workload_registry)
+    return snapshot_smr_outcome(result, workload=task.workload)
+
+
+def execute_task(task: AnyTask) -> AnyOutcome:
+    """Execute one task (of either kind) and return its condensed outcome.
 
     This is the function worker processes run; it must stay module-level so
     it pickles under every multiprocessing start method.
     """
+    if isinstance(task, SmrTask):
+        return execute_smr_task(task)
     return snapshot_outcome(execute_task_result(task))
 
 
 class Executor:
-    """Strategy for executing a batch of :class:`RunTask`\\ s."""
+    """Strategy for executing a batch of :class:`RunTask`/:class:`SmrTask`\\ s."""
 
     name = "abstract"
 
-    def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
+    def map(self, tasks: Sequence[AnyTask]) -> List[AnyOutcome]:
         """Execute every task and return outcomes in task order."""
         return list(self.imap(tasks))
 
-    def imap(self, tasks: Sequence[RunTask]) -> Iterator[RunOutcome]:
+    def imap(self, tasks: Sequence[AnyTask]) -> Iterator[AnyOutcome]:
         """Yield outcomes in task order as they complete.
 
         The streaming counterpart of :meth:`map`: consumers that persist
@@ -168,7 +261,7 @@ class Executor:
             )
         return iter(self.map(tasks))
 
-    def run(self, task: RunTask) -> RunOutcome:
+    def run(self, task: AnyTask) -> AnyOutcome:
         return self.map([task])[0]
 
     def run_result(
@@ -206,12 +299,17 @@ class SerialExecutor(Executor):
         self.workload_registry = workload_registry
         self.protocol_registry = protocol_registry
 
-    def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
-        return [snapshot_outcome(self.map_result(task)) for task in tasks]
+    def map(self, tasks: Sequence[AnyTask]) -> List[AnyOutcome]:
+        return [self._execute_one(task) for task in tasks]
 
-    def imap(self, tasks: Sequence[RunTask]) -> Iterator[RunOutcome]:
+    def imap(self, tasks: Sequence[AnyTask]) -> Iterator[AnyOutcome]:
         for task in tasks:
-            yield snapshot_outcome(self.map_result(task))
+            yield self._execute_one(task)
+
+    def _execute_one(self, task: AnyTask) -> AnyOutcome:
+        if isinstance(task, SmrTask):
+            return execute_smr_task(task, workload_registry=self.workload_registry)
+        return snapshot_outcome(self.map_result(task))
 
     def map_result(self, task: RunTask) -> RunResult:
         return execute_task_result(
@@ -261,10 +359,10 @@ class ParallelExecutor(Executor):
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
         return self._pool
 
-    def map(self, tasks: Sequence[RunTask]) -> List[RunOutcome]:
+    def map(self, tasks: Sequence[AnyTask]) -> List[AnyOutcome]:
         return list(self.imap(tasks))
 
-    def imap(self, tasks: Sequence[RunTask]) -> Iterator[RunOutcome]:
+    def imap(self, tasks: Sequence[AnyTask]) -> Iterator[AnyOutcome]:
         tasks = list(tasks)
         if self.jobs <= 1 or len(tasks) <= 1:
             return (execute_task(task) for task in tasks)

@@ -44,14 +44,19 @@ from typing import (
 from repro.analysis.stats import Summary, summarize
 from repro.consensus.values import RunOutcome
 from repro.errors import ExperimentError
-from repro.harness.executors import Executor, RunTask, make_executor
+from repro.harness.executors import Executor, RunTask, SmrTask, make_executor
+from repro.smr.outcome import SmrOutcome
+from repro.smr.workload import ScheduleSpec
 
 __all__ = [
     "ExperimentSpec",
     "ResultRow",
     "ResultSet",
+    "SmrExperimentSpec",
+    "SmrResultRow",
     "lag_delta",
     "run_experiment",
+    "run_smr_tasks",
     "undecided",
 ]
 
@@ -60,6 +65,17 @@ Binder = Callable[[GridPoint], Mapping[str, Any]]
 Metric = Callable[["ResultRow"], Optional[float]]
 
 logger = logging.getLogger("repro.results")
+
+
+def _grid_points(grid: Mapping[str, Sequence[Any]]) -> List[GridPoint]:
+    """The cartesian product of a parameter grid, in declaration order."""
+    if not grid:
+        return [{}]
+    keys = list(grid)
+    return [
+        dict(zip(keys, combo))
+        for combo in itertools.product(*(grid[key] for key in keys))
+    ]
 
 
 @dataclass(frozen=True)
@@ -104,13 +120,7 @@ class ExperimentSpec:
 
     def points(self) -> List[GridPoint]:
         """The cartesian product of the grid, in declaration order."""
-        if not self.grid:
-            return [{}]
-        keys = list(self.grid)
-        return [
-            dict(zip(keys, combo))
-            for combo in itertools.product(*(self.grid[key] for key in keys))
-        ]
+        return _grid_points(self.grid)
 
     def tasks(self) -> List[RunTask]:
         """Expand into one task per (protocol, grid point, seed)."""
@@ -294,21 +304,44 @@ def run_experiment(
     for one in specs:
         tasks.extend(one.tasks())
 
+    slots = _execute_streaming(tasks, executor, store=store, resume=resume)
+    return ResultSet(
+        ResultRow(task=task, outcome=outcome)
+        for task, outcome in zip(tasks, slots)
+        if outcome is not None
+    )
+
+
+def _execute_streaming(
+    tasks: Sequence[Any],
+    executor: Executor,
+    *,
+    store: Optional[Any],
+    resume: bool,
+) -> List[Optional[Any]]:
+    """The shared store/resume execution engine behind every task family.
+
+    Executes ``tasks`` through ``executor`` and returns their outcomes in
+    task order.  With a ``store``, every executed task is frozen into the
+    record type matching its kind
+    (:func:`~repro.results.record.record_for_task`) and streamed in as it
+    completes — a crash or interrupt mid-batch leaves every finished run
+    durable; with ``resume=True``, tasks whose content key is already
+    present are loaded instead of executed (cache hits are logged on the
+    ``repro.results`` logger).
+    """
     if store is None:
         if resume:
             raise ExperimentError("resume=True needs a store to resume from")
-        outcomes = executor.map(tasks)
-        return ResultSet(
-            ResultRow(task=task, outcome=outcome) for task, outcome in zip(tasks, outcomes)
-        )
+        return list(executor.map(tasks))
 
-    from repro.results.record import RunRecord, content_key_for_task
+    from repro.results.record import content_key_for_task, record_for_task
     from repro.results.store import open_store
 
     opened = not hasattr(store, "put")
     store = open_store(store)
     keys = [content_key_for_task(task) for task in tasks]
-    slots: List[Optional[RunOutcome]] = [None] * len(tasks)
+    slots: List[Optional[Any]] = [None] * len(tasks)
     pending: List[int] = []
     for index, key in enumerate(keys):
         record = store.get(key) if resume else None
@@ -329,13 +362,105 @@ def run_experiment(
             pending, executor.imap([tasks[i] for i in pending])
         ):
             slots[index] = outcome
-            store.put(RunRecord.from_task(tasks[index], outcome, key=keys[index]))
+            store.put(record_for_task(tasks[index], outcome, key=keys[index]))
     finally:
         store.flush()
         if opened:
             store.close()
-    return ResultSet(
-        ResultRow(task=task, outcome=outcome)
+    return slots
+
+
+# --------------------------------------------------------------------------- SMR
+@dataclass(frozen=True)
+class SmrResultRow:
+    """One executed SMR task paired with its outcome."""
+
+    task: SmrTask
+    outcome: SmrOutcome
+
+    @property
+    def tags(self) -> Mapping[str, Any]:
+        return self.task.tags
+
+    def tag(self, key: str) -> Any:
+        if key not in self.task.tags:
+            raise ExperimentError(
+                f"row has no tag {key!r}; available: {', '.join(sorted(self.task.tags))}"
+            )
+        return self.task.tags[key]
+
+
+@dataclass(frozen=True)
+class SmrExperimentSpec:
+    """Parameter grid × seeds over one SMR workload and one schedule.
+
+    The multi-decree counterpart of :class:`ExperimentSpec`: every grid
+    point expands into one :class:`~repro.harness.executors.SmrTask` per
+    seed, all sharing the declarative ``schedule`` (a
+    :class:`~repro.smr.workload.ScheduleSpec`) and state-machine name.
+    ``bind`` works exactly as on :class:`ExperimentSpec`.
+    """
+
+    workload: str
+    schedule: ScheduleSpec
+    seeds: Sequence[int] = (0,)
+    base: Mapping[str, Any] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    bind: Optional[Binder] = None
+    machine: str = "kv"
+    tags: Mapping[str, Any] = field(default_factory=dict)
+    enforce_consistency: bool = True
+
+    def points(self) -> List[GridPoint]:
+        return _grid_points(self.grid)
+
+    def tasks(self) -> List[SmrTask]:
+        """Expand into one task per (grid point, seed)."""
+        if not self.seeds:
+            raise ExperimentError("SmrExperimentSpec needs at least one seed")
+        tasks: List[SmrTask] = []
+        for point in self.points():
+            bound = dict(self.bind(point)) if self.bind is not None else dict(point)
+            for seed in self.seeds:
+                kwargs = {**self.base, **bound, "seed": seed}
+                tasks.append(
+                    SmrTask(
+                        workload=self.workload,
+                        schedule=self.schedule,
+                        workload_kwargs=kwargs,
+                        machine=self.machine,
+                        enforce_consistency=self.enforce_consistency,
+                        tags={**self.tags, **point, "seed": seed},
+                    )
+                )
+        return tasks
+
+
+def run_smr_tasks(
+    tasks: Sequence[SmrTask],
+    *,
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
+) -> List[SmrResultRow]:
+    """Execute SMR tasks through the same executor/store pipeline as runs.
+
+    The multi-decree counterpart of :func:`run_experiment`: tasks fan out
+    over the given executor (``executor`` wins over ``jobs``; with neither,
+    execution is serial), every executed task streams its
+    :class:`~repro.results.smr_record.SmrRecord` into ``store`` as it
+    completes, and ``resume=True`` loads tasks whose content key is already
+    present instead of executing them — an interrupted SMR campaign
+    re-executes exactly the missing runs.
+    """
+    if executor is not None and jobs is not None:
+        raise ExperimentError("pass either executor or jobs, not both")
+    executor = executor if executor is not None else make_executor(jobs)
+    tasks = list(tasks)
+    slots = _execute_streaming(tasks, executor, store=store, resume=resume)
+    return [
+        SmrResultRow(task=task, outcome=outcome)
         for task, outcome in zip(tasks, slots)
         if outcome is not None
-    )
+    ]

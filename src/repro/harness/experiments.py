@@ -375,6 +375,38 @@ def experiment_e7_stable_case(
 
 
 # --------------------------------------------------------------------------- E9
+def _check_smr_case(case: str, outcome: Any) -> None:
+    """Fail loudly when an SMR case produced an incomplete or diverged run."""
+    if not outcome.replicas_agree:
+        raise ExperimentError(f"{case}: replica state machines diverged")
+    unlearned = outcome.unlearned_command_ids()
+    if unlearned:
+        raise ExperimentError(
+            f"{case}: commands never learned by every expected replica: "
+            f"{', '.join(unlearned)}"
+        )
+
+
+def _smr_latencies(case: str, outcome: Any) -> tuple:
+    """The (submitter, global) worst latencies, or a loud error naming gaps.
+
+    Guards the latent ``None / delta`` crash: an outcome with no completed
+    command returns ``None`` latencies, which must surface as an
+    :class:`~repro.errors.ExperimentError` naming the unlearned command ids,
+    never as a ``TypeError`` inside the table arithmetic.
+    """
+    submitter = outcome.worst_submitter_latency()
+    global_ = outcome.worst_global_latency()
+    if submitter is None or global_ is None:
+        unlearned = outcome.unlearned_command_ids()
+        detail = ", ".join(unlearned) if unlearned else "no command was ever submitted"
+        raise ExperimentError(
+            f"{case}: no per-command latency could be measured; "
+            f"unlearned commands: {detail}"
+        )
+    return submitter, global_
+
+
 def experiment_e9_smr_stable_case(
     n: int = 9,
     stable_commands: int = 30,
@@ -389,18 +421,53 @@ def experiment_e9_smr_stable_case(
     Uses the SMR extension (:mod:`repro.smr`): one ballot and one phase 1
     cover the whole log, so during stable periods a command costs a single
     phase-2 round (plus one forwarding hop when submitted at a follower).
-    The ``executor``, ``store``, and ``resume`` parameters are accepted for
-    campaign uniformity but unused — the SMR runner drives the simulator
-    directly, outside the single-decree run-task path, so its runs have no
-    declarative content key to cache under.
+
+    The three cases are declarative :class:`~repro.harness.executors.SmrTask`\\ s
+    over the registered ``smr-stable`` / ``smr-chaos`` workloads, executed
+    through :func:`~repro.harness.experiment.run_smr_tasks` — the same
+    executor/store/resume pipeline as every single-decree experiment, so
+    ``executor=`` parallelizes the cases and ``store=``/``resume=`` cache
+    them under their content keys.
     """
-    from repro.smr.runner import run_smr
-    from repro.smr.workload import uniform_schedule
-    from repro.workloads.chaos import partitioned_chaos_scenario
-    from repro.workloads.stable import stable_scenario
+    from repro.harness.executors import SmrTask
+    from repro.harness.experiment import run_smr_tasks
+    from repro.smr.workload import ScheduleSpec
+    from repro.workloads.registry import default_workload_registry
 
     params = params if params is not None else default_experiment_params()
     delta = params.delta
+
+    # The chaos schedule targets the first surviving replica; the fault plan
+    # is seeded, so resolving it here and inside a worker agree.
+    chaos_kwargs = {"n": n, "params": params, "ts": 10.0 * delta, "seed": 3}
+    survivors = default_workload_registry().create("smr-chaos", **chaos_kwargs).deciders()
+
+    tasks = [
+        SmrTask(
+            workload="smr-stable",
+            workload_kwargs={"n": n, "params": params, "seed": 1},
+            schedule=ScheduleSpec(num_commands=stable_commands, start=10.0, interval=0.7,
+                                  target_pid=n - 1),
+            tags={"case": "leader-submitted", "seed": 1},
+        ),
+        SmrTask(
+            workload="smr-stable",
+            workload_kwargs={"n": n, "params": params, "seed": 2},
+            schedule=ScheduleSpec(num_commands=stable_commands, start=10.0, interval=0.7,
+                                  target_pid=0),
+            tags={"case": "follower-submitted", "seed": 2},
+        ),
+        SmrTask(
+            workload="smr-chaos",
+            workload_kwargs=chaos_kwargs,
+            schedule=ScheduleSpec(num_commands=chaos_commands, start=1.0, interval=0.8,
+                                  target_pid=survivors[0]),
+            tags={"case": "chaos", "seed": 3},
+        ),
+    ]
+    rows = run_smr_tasks(tasks, executor=executor, store=store, resume=resume)
+    by_case = {row.tag("case"): row.outcome for row in rows}
+
     table = ExperimentTable(
         experiment="E9",
         title=f"Multi-decree Modified Paxos (SMR, n={n}): per-command latency",
@@ -417,51 +484,28 @@ def experiment_e9_smr_stable_case(
         ),
     )
 
-    def run_case(name, scenario, schedule):
-        result = run_smr(scenario, schedule)
-        if not result.replicas_agree:
-            raise ExperimentError(f"{name}: replica state machines diverged")
-        if not result.all_commands_learned_everywhere:
-            raise ExperimentError(f"{name}: some command was not replicated everywhere")
-        return result
+    for case, label in (
+        ("leader-submitted", "stable, submitted at leader"),
+        ("follower-submitted", "stable, submitted at follower"),
+    ):
+        outcome = by_case[case]
+        _check_smr_case(case, outcome)
+        submitter, global_ = _smr_latencies(case, outcome)
+        table.add_row(
+            case=label,
+            commands=stable_commands,
+            worst_submitter_latency_delta=submitter / delta,
+            worst_global_latency_delta=global_ / delta,
+        )
 
-    leader_case = run_case(
-        "leader-submitted",
-        stable_scenario(n, params=params, seed=1, max_time=400.0 * delta),
-        uniform_schedule(n, num_commands=stable_commands, start=10.0, interval=0.7,
-                         target_pid=n - 1),
-    )
-    table.add_row(
-        case="stable, submitted at leader",
-        commands=stable_commands,
-        worst_submitter_latency_delta=leader_case.worst_submitter_latency() / delta,
-        worst_global_latency_delta=leader_case.worst_global_latency() / delta,
-    )
-
-    follower_case = run_case(
-        "follower-submitted",
-        stable_scenario(n, params=params, seed=2, max_time=400.0 * delta),
-        uniform_schedule(n, num_commands=stable_commands, start=10.0, interval=0.7, target_pid=0),
-    )
-    table.add_row(
-        case="stable, submitted at follower",
-        commands=stable_commands,
-        worst_submitter_latency_delta=follower_case.worst_submitter_latency() / delta,
-        worst_global_latency_delta=follower_case.worst_global_latency() / delta,
-    )
-
-    chaos_scenario = partitioned_chaos_scenario(n, params=params, ts=10.0 * delta, seed=3)
-    survivors = chaos_scenario.deciders()
-    chaos_case = run_case(
-        "chaos",
-        chaos_scenario,
-        uniform_schedule(n, num_commands=chaos_commands, start=1.0, interval=0.8,
-                         target_pid=survivors[0]),
-    )
-    worst_after_ts = max(
-        max(record.learned_times.values()) - chaos_scenario.config.ts
-        for record in chaos_case.commands.values()
-    )
+    chaos_outcome = by_case["chaos"]
+    _check_smr_case("chaos", chaos_outcome)
+    worst_after_ts = chaos_outcome.worst_learned_after()
+    if worst_after_ts is None:
+        raise ExperimentError(
+            "chaos: no per-command latency could be measured; unlearned commands: "
+            + (", ".join(chaos_outcome.unlearned_command_ids()) or "no command was submitted")
+        )
     table.add_row(
         case="pre-TS submissions, learned after TS",
         commands=chaos_commands,

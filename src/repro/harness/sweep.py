@@ -27,7 +27,7 @@ from repro.harness.runner import RunResult
 from repro.workloads.registry import ScenarioRegistry, default_workload_registry
 from repro.workloads.scenario import Scenario
 
-__all__ = ["StoredRunResult", "SweepPoint", "SweepResult", "sweep"]
+__all__ = ["StoredRunResult", "SweepPoint", "SweepResult", "smr_sweep", "sweep"]
 
 
 @dataclass(frozen=True)
@@ -241,3 +241,45 @@ def sweep(
             if opened_store:
                 store_obj.close()
     return result
+
+
+def smr_sweep(
+    parameter: str,
+    values: Sequence[Any],
+    *,
+    workload: str,
+    schedule: Any,
+    seeds: Iterable[int] = (0,),
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    machine: str = "kv",
+    executor: Optional[Executor] = None,
+    jobs: Optional[int] = None,
+    store: Optional[Any] = None,
+    resume: bool = False,
+) -> List[Any]:
+    """Sweep one parameter of an SMR workload under a fixed command schedule.
+
+    The multi-decree counterpart of :func:`sweep`: every (value, seed)
+    combination becomes a declarative
+    :class:`~repro.harness.executors.SmrTask` (so grids run through any
+    executor and honor ``store=``/``resume=``), and the result is the list
+    of :class:`~repro.harness.experiment.SmrResultRow`\\ s in grid order,
+    tagged with the swept parameter and seed.
+
+    ``schedule`` is a :class:`~repro.smr.workload.ScheduleSpec`; SMR sweeps
+    are always workload-name based — an SMR run's identity *is* its
+    declarative task, which is what makes the sweep resumable.
+    """
+    from repro.harness.experiment import SmrExperimentSpec, run_smr_tasks
+
+    spec = SmrExperimentSpec(
+        workload=workload,
+        schedule=schedule,
+        seeds=tuple(seeds),
+        base=dict(workload_kwargs or {}),
+        grid={parameter: tuple(values)},
+        machine=machine,
+    )
+    return run_smr_tasks(
+        spec.tasks(), executor=executor, jobs=jobs, store=store, resume=resume
+    )

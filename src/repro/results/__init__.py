@@ -9,6 +9,11 @@ run *produced*:
   JSON-round-trippable data under an explicit schema version, addressed by
   a stable content key ``(protocol, workload, env-hash, n, ts, delta,
   seed)`` derivable from the declarative task alone;
+* :class:`~repro.results.smr_record.SmrRecord` — the multi-decree
+  counterpart (per-command latencies, learned prefix lengths, replica
+  digests, resolved environment), sharing the same content-key shape and
+  store backends (serialized with ``"kind": "smr"``;
+  :func:`~repro.results.record.decode_record_dict` dispatches);
 * :class:`~repro.results.store.ResultStore` — the backend contract, with
   :class:`~repro.results.store.MemoryStore`,
   :class:`~repro.results.store.JsonlStore` (append-only log + atomic
@@ -20,10 +25,10 @@ run *produced*:
 
 Because simulations are seeded and deterministic, a stored record is a
 faithful substitute for re-executing its task: the harness layers
-(``run_experiment``, ``run_campaign``, ``sweep``, the E1–E8 experiment
-functions) accept ``store=``/``resume=`` and load any record already
-present under a task's content key instead of running it, which is what
-makes interrupted or sharded campaigns resumable.
+(``run_experiment``, ``run_smr_tasks``, ``run_campaign``, ``sweep``,
+``smr_sweep``, the E1–E9 experiment functions) accept ``store=``/``resume=``
+and load any record already present under a task's content key instead of
+running it, which is what makes interrupted or sharded campaigns resumable.
 
 Schema-version policy
 =====================
@@ -60,8 +65,12 @@ from repro.results.record import (
     SCHEMA_VERSION,
     RunRecord,
     content_key_for_task,
+    decode_record_dict,
+    decode_record_json,
+    record_for_task,
     task_fingerprint,
 )
+from repro.results.smr_record import SmrRecord
 from repro.results.store import (
     JsonlStore,
     MemoryStore,
@@ -77,13 +86,17 @@ __all__ = [
     "MemoryStore",
     "ResultStore",
     "RunRecord",
+    "SmrRecord",
     "SqliteStore",
     "content_key_for_task",
+    "decode_record_dict",
+    "decode_record_json",
     "diff_aggregates",
     "export_csv",
     "export_json",
     "lag_aggregates",
     "open_store",
+    "record_for_task",
     "result_set_of",
     "task_fingerprint",
 ]

@@ -38,6 +38,9 @@ __all__ = [
     "SCHEMA_VERSION",
     "RunRecord",
     "content_key_for_task",
+    "decode_record_dict",
+    "decode_record_json",
+    "record_for_task",
     "task_fingerprint",
 ]
 
@@ -92,24 +95,40 @@ def _fingerprint_value(value: Any, where: str) -> Any:
 
 
 def task_fingerprint(task: Any) -> Dict[str, Any]:
-    """The canonical identity of a :class:`~repro.harness.executors.RunTask`.
+    """The canonical identity of a declarative task (run or SMR).
 
-    Covers everything that determines the run's outcome: protocol, workload,
-    both kwarg mappings (normalized), and ``run_until_decided`` — stopping
-    at the first decision versus running to the horizon changes durations
-    and message counts, so the two must never share a cache entry.  ``n``,
-    ``ts``, and ``seed`` are left out of the hashed kwargs — they appear
-    readably in the content key itself, so every run of one scenario family
-    shares an ``env-hash``.  The *enforcement* flags (``enforce_safety``,
-    ``enforce_invariants``, ``record_envelopes``) are deliberately excluded
-    — they change what failures raise and what stays observable, never what
-    a successful run produces.
+    For a :class:`~repro.harness.executors.RunTask` this covers everything
+    that determines the run's outcome: protocol, workload, both kwarg
+    mappings (normalized), and ``run_until_decided`` — stopping at the first
+    decision versus running to the horizon changes durations and message
+    counts, so the two must never share a cache entry.  ``n``, ``ts``, and
+    ``seed`` are left out of the hashed kwargs — they appear readably in the
+    content key itself, so every run of one scenario family shares an
+    ``env-hash``.  The *enforcement* flags (``enforce_safety``,
+    ``enforce_invariants``, ``record_envelopes``, ``enforce_consistency``)
+    are deliberately excluded — they change what failures raise and what
+    stays observable, never what a successful run produces.
+
+    For an :class:`~repro.harness.executors.SmrTask` (``task.kind ==
+    "smr"``) the fingerprint instead covers the command schedule and the
+    state-machine name — the two extra axes of a multi-decree run's
+    identity.
     """
     kwargs = {
         key: value
         for key, value in dict(task.workload_kwargs).items()
         if key not in ("n", "ts", "seed")
     }
+    if getattr(task, "kind", None) == "smr":
+        return {
+            "schema": SCHEMA_VERSION,
+            "kind": "smr",
+            "protocol": task.protocol,
+            "workload": task.workload,
+            "workload_kwargs": _fingerprint_value(kwargs, "workload_kwargs"),
+            "schedule": _fingerprint_value(task.schedule.to_dict(), "schedule"),
+            "machine": task.machine,
+        }
     return {
         "schema": SCHEMA_VERSION,
         "protocol": task.protocol,
@@ -415,3 +434,49 @@ class RunRecord:
             f"{self.key}  decided={len(self.decisions)}/{self.n} "
             f"lag={lag_text} msgs={self.messages_sent}"
         )
+
+
+def record_for_task(task: Any, outcome: Any, key: Optional[str] = None) -> Any:
+    """Freeze one (task, outcome) pair into the record type matching the task.
+
+    The single polymorphic entry point the store-backed harness paths use:
+    :class:`~repro.harness.executors.RunTask` → :class:`RunRecord`,
+    :class:`~repro.harness.executors.SmrTask` →
+    :class:`~repro.results.smr_record.SmrRecord`.
+    """
+    if getattr(task, "kind", None) == "smr":
+        from repro.results.smr_record import SmrRecord
+
+        return SmrRecord.from_task(task, outcome, key=key)
+    return RunRecord.from_task(task, outcome, key=key)
+
+
+def decode_record_dict(data: Mapping[str, Any]) -> Any:
+    """Decode a serialized record of either kind.
+
+    Dispatches on the ``"kind"`` marker: ``"smr"`` →
+    :class:`~repro.results.smr_record.SmrRecord`, absent (or ``"run"``) →
+    :class:`RunRecord` — pre-SMR stores carry no marker, so they decode
+    unchanged.
+    """
+    if not isinstance(data, Mapping):
+        raise ResultSchemaError("record JSON must be an object")
+    kind = data.get("kind", "run")
+    if kind == "smr":
+        from repro.results.smr_record import SmrRecord
+
+        return SmrRecord.from_dict(data)
+    if kind == "run":
+        return RunRecord.from_dict(data)
+    raise ResultSchemaError(
+        f"unknown record kind {kind!r}; this library understands 'run' and 'smr'"
+    )
+
+
+def decode_record_json(text: str) -> Any:
+    """Decode one serialized record line/payload of either kind."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ResultSchemaError(f"invalid record JSON: {error}") from error
+    return decode_record_dict(data)

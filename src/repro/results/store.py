@@ -31,7 +31,7 @@ import tempfile
 from typing import Any, Callable, Dict, Iterator, List, Optional, Union
 
 from repro.errors import ResultSchemaError, ResultStoreError
-from repro.results.record import SCHEMA_VERSION, RunRecord
+from repro.results.record import SCHEMA_VERSION, RunRecord, decode_record_json
 
 __all__ = [
     "JsonlStore",
@@ -249,7 +249,7 @@ class JsonlStore(ResultStore):
                 stripped = line.strip()
                 if stripped:
                     try:
-                        record = RunRecord.from_json(stripped.decode("utf-8", "replace"))
+                        record = decode_record_json(stripped.decode("utf-8", "replace"))
                     except ResultSchemaError:
                         if offset + len(line) == size and not line.endswith(b"\n"):
                             # A put() torn by a kill left a partial final line.
@@ -281,7 +281,7 @@ class JsonlStore(ResultStore):
             return None
         with open(self.path, "rb") as handle:
             handle.seek(offset)
-            return RunRecord.from_json(handle.readline().decode("utf-8"))
+            return decode_record_json(handle.readline().decode("utf-8"))
 
     def keys(self) -> List[str]:
         return list(self._offsets)
@@ -292,7 +292,7 @@ class JsonlStore(ResultStore):
         with open(self.path, "rb") as handle:
             for offset in self._offsets.values():
                 handle.seek(offset)
-                yield RunRecord.from_json(handle.readline().decode("utf-8"))
+                yield decode_record_json(handle.readline().decode("utf-8"))
 
     def flush(self) -> None:
         size = os.path.getsize(self.path) if os.path.exists(self.path) else 0
@@ -394,7 +394,7 @@ class SqliteStore(ResultStore):
             "SELECT payload FROM records WHERE key = ?", (key,)
         )
         row = cursor.fetchone()
-        return RunRecord.from_json(row[0]) if row is not None else None
+        return decode_record_json(row[0]) if row is not None else None
 
     def keys(self) -> List[str]:
         cursor = self._connection.execute("SELECT key FROM records ORDER BY ordinal")
@@ -403,7 +403,7 @@ class SqliteStore(ResultStore):
     def records(self) -> Iterator[RunRecord]:
         cursor = self._connection.execute("SELECT payload FROM records ORDER BY ordinal")
         for (payload,) in cursor:
-            yield RunRecord.from_json(payload)
+            yield decode_record_json(payload)
 
     def _scan(
         self, protocol: Optional[str] = None, workload: Optional[str] = None
@@ -420,7 +420,7 @@ class SqliteStore(ResultStore):
             sql += " WHERE " + " AND ".join(clauses)
         sql += " ORDER BY ordinal"
         for (payload,) in self._connection.execute(sql, args):
-            yield RunRecord.from_json(payload)
+            yield decode_record_json(payload)
 
     def __len__(self) -> int:
         cursor = self._connection.execute("SELECT COUNT(*) FROM records")

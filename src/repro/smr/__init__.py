@@ -38,11 +38,13 @@ from repro.smr.messages import (
 )
 from repro.smr.metrics import CommandRecord, command_latencies, learned_prefix_lengths
 from repro.smr.multi_paxos import MultiPaxosSmrBuilder, MultiPaxosSmrProcess
+from repro.smr.outcome import SMR_PROTOCOL, SmrOutcome, digest_string, snapshot_smr_outcome
 from repro.smr.runner import SmrRunResult, run_smr
 from repro.smr.state_machine import AppendOnlyLedger, KeyValueStore, StateMachine
-from repro.smr.workload import CommandSchedule, uniform_schedule
+from repro.smr.workload import CommandSchedule, ScheduleSpec, uniform_schedule
 
 __all__ = [
+    "SMR_PROTOCOL",
     "AppendOnlyLedger",
     "CommandRecord",
     "CommandRequest",
@@ -55,11 +57,15 @@ __all__ = [
     "MultiPhase2a",
     "MultiPhase2b",
     "ReplicatedLog",
+    "ScheduleSpec",
     "SlotDecision",
+    "SmrOutcome",
     "SmrRunResult",
     "StateMachine",
     "command_latencies",
+    "digest_string",
     "learned_prefix_lengths",
     "run_smr",
+    "snapshot_smr_outcome",
     "uniform_schedule",
 ]

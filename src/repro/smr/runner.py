@@ -13,14 +13,18 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from repro.analysis.invariants import InvariantReport, check_session_entry_rule
+from repro.errors import ConfigurationError
 from repro.sim.rng import SeededRng
 from repro.sim.simulator import Simulator
 from repro.smr.metrics import (
     CommandRecord,
     check_log_consistency,
     command_latencies,
+    digests_agree,
     learned_prefix_lengths,
     replica_digests,
+    worst_global_latency,
+    worst_submitter_latency,
 )
 from repro.smr.multi_paxos import MultiPaxosSmrBuilder, MultiPaxosSmrProcess
 from repro.smr.state_machine import KeyValueStore
@@ -52,23 +56,31 @@ class SmrRunResult:
 
     @property
     def replicas_agree(self) -> bool:
-        return len(set(map(repr, self.digests.values()))) <= 1
+        return digests_agree(self.digests)
 
     def worst_submitter_latency(self) -> Optional[float]:
-        latencies = [
-            record.submitter_latency
-            for record in self.commands.values()
-            if record.submitter_latency is not None
-        ]
-        return max(latencies) if latencies else None
+        return worst_submitter_latency(self.commands)
 
     def worst_global_latency(self) -> Optional[float]:
-        latencies = [
-            record.global_latency
-            for record in self.commands.values()
-            if record.global_latency is not None
-        ]
-        return max(latencies) if latencies else None
+        return worst_global_latency(self.commands)
+
+
+def _validate_schedule_horizon(schedule: CommandSchedule, max_time: float) -> None:
+    """Reject schedules whose submissions land past the scenario horizon.
+
+    A submission timer set for after ``max_time`` never fires, so the command
+    would silently never run (and never show up in the metrics); fail loudly
+    with the offending command instead.
+    """
+    for pid, entries in sorted(schedule.entries.items()):
+        for submit_at, command_id, _ in entries:
+            if submit_at > max_time:
+                raise ConfigurationError(
+                    f"command {command_id!r} is scheduled at p{pid} local time "
+                    f"{submit_at:g}, past the scenario horizon max_time={max_time:g}; "
+                    "it would silently never be submitted — extend max_time or move "
+                    "the submission earlier"
+                )
 
 
 def run_smr(
@@ -79,8 +91,9 @@ def run_smr(
     enforce_consistency: bool = True,
 ) -> SmrRunResult:
     """Execute the multi-decree Modified Paxos service under ``scenario``."""
-    builder = MultiPaxosSmrBuilder(schedule=schedule)
     config = scenario.config
+    _validate_schedule_horizon(schedule, config.max_time)
+    builder = MultiPaxosSmrBuilder(schedule=schedule)
     network_rng = SeededRng(config.seed, label="net").fork(scenario.name)
     network = scenario.build_network(config, network_rng)
 

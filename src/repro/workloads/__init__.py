@@ -26,9 +26,16 @@ from repro.workloads.registry import (
 )
 from repro.workloads.restarts import restart_after_stability_scenario
 from repro.workloads.scenario import Scenario
+from repro.workloads.smr import (
+    SMR_WORKLOADS,
+    is_smr_workload,
+    smr_chaos_scenario,
+    smr_stable_scenario,
+)
 from repro.workloads.stable import stable_scenario
 
 __all__ = [
+    "SMR_WORKLOADS",
     "Scenario",
     "ScenarioRegistry",
     "WorkloadSpec",
@@ -39,11 +46,14 @@ __all__ = [
     "environment_scenario",
     "gray_partition_scenario",
     "register_workload",
+    "is_smr_workload",
     "kitchen_sink_scenario",
     "lossy_chaos_scenario",
     "obsolete_ballot_scenario",
     "partitioned_chaos_scenario",
     "resolve_environment",
     "restart_after_stability_scenario",
+    "smr_chaos_scenario",
+    "smr_stable_scenario",
     "stable_scenario",
 ]

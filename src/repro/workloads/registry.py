@@ -188,6 +188,7 @@ def default_workload_registry() -> ScenarioRegistry:
     import repro.workloads.environments  # noqa: F401
     import repro.workloads.obsolete  # noqa: F401
     import repro.workloads.restarts  # noqa: F401
+    import repro.workloads.smr  # noqa: F401
     import repro.workloads.stable  # noqa: F401
 
     registry = ScenarioRegistry()

@@ -1,0 +1,219 @@
+"""SMR scenario family: registry workloads sized for multi-decree runs.
+
+The multi-decree service (:mod:`repro.smr`) runs on ordinary
+:class:`~repro.workloads.scenario.Scenario` objects — what distinguishes an
+"SMR workload" is only its sizing (a longer default horizon, so a stream of
+commands has room to replicate) and the execution path
+(:func:`~repro.smr.runner.run_smr` instead of a single-decree protocol).
+
+Each factory here delegates to the corresponding single-decree scenario
+factory, preserving its scenario *name* — the name seeds the network RNG
+fork, so an ``smr-stable`` run is trace-identical to the pre-registry side
+harness that built ``stable_scenario`` directly.  Three of the variants
+(churn, gray partition, asymmetric link) reuse the declarative
+:class:`~repro.env.spec.EnvironmentSpec` families introduced for the
+single-decree experiments, extending the SMR evaluation beyond the paper's
+stable/chaos cases.
+
+``SMR_WORKLOADS`` names every registered SMR workload; the CLI uses it to
+route ``repro run --workload smr-*`` through the SMR runner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.params import TimingParams
+from repro.workloads.chaos import partitioned_chaos_scenario
+from repro.workloads.environments import (
+    asymmetric_link_scenario,
+    churn_scenario,
+    gray_partition_scenario,
+)
+from repro.workloads.registry import register_workload
+from repro.workloads.scenario import Scenario
+from repro.workloads.stable import stable_scenario
+
+__all__ = [
+    "SMR_WORKLOADS",
+    "is_smr_workload",
+    "smr_asymmetric_link_scenario",
+    "smr_chaos_scenario",
+    "smr_churn_scenario",
+    "smr_gray_partition_scenario",
+    "smr_stable_scenario",
+]
+
+SMR_WORKLOADS = (
+    "smr-stable",
+    "smr-chaos",
+    "smr-churn",
+    "smr-gray-partition",
+    "smr-asymmetric-link",
+)
+
+
+def is_smr_workload(name: str) -> bool:
+    """Whether ``name`` is a workload meant for the SMR runner."""
+    return name in SMR_WORKLOADS
+
+
+@register_workload(
+    "smr-stable",
+    summary="SMR: synchronous from t=0, no faults — the phase-1-pre-executed fast path (E9)",
+    param_help={
+        "n": "number of replicas",
+        "max_time": "simulation horizon (defaults to 400 delta, room for long command streams)",
+    },
+)
+def smr_stable_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    seed: int = 0,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """The stable scenario with an SMR-sized horizon."""
+    params = params if params is not None else TimingParams()
+    return stable_scenario(
+        n,
+        params=params,
+        seed=seed,
+        max_time=max_time if max_time is not None else 400.0 * params.delta,
+    )
+
+
+@register_workload(
+    "smr-chaos",
+    summary="SMR: minority partitions and crashes before TS, commands replicated after (E9)",
+    param_help={
+        "n": "number of replicas",
+        "ts": "stabilization time (defaults to 10 delta)",
+        "leak_probability": "chance a cross-partition message leaks with a long delay",
+    },
+)
+def smr_chaos_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    ts: Optional[float] = None,
+    seed: int = 0,
+    with_crashes: bool = True,
+    leak_probability: float = 0.05,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """The partitioned-chaos scenario, unchanged (its horizon already fits SMR)."""
+    return partitioned_chaos_scenario(
+        n,
+        params=params,
+        ts=ts,
+        seed=seed,
+        with_crashes=with_crashes,
+        leak_probability=leak_probability,
+        max_time=max_time,
+    )
+
+
+@register_workload(
+    "smr-churn",
+    summary="SMR: post-TS crash/restart waves over a minority while commands flow",
+    param_help={
+        "n": "number of replicas (at least 3)",
+        "waves": "restart cycles per victim after TS",
+        "num_victims": "how many replicas churn (defaults to the largest minority)",
+    },
+)
+def smr_churn_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    ts: Optional[float] = None,
+    seed: int = 0,
+    waves: int = 2,
+    up_time: float = 1.0,
+    down_time: float = 2.0,
+    first_offset: float = 2.0,
+    num_victims: Optional[int] = None,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """Churn waves under a replicated command stream.
+
+    Every victim restarts, so all replicas are expected to converge on the
+    full log by the horizon — the multi-decree catch-up path (decided entries
+    piggybacked on promises) is what this family exercises.
+    """
+    return churn_scenario(
+        n,
+        params=params,
+        ts=ts,
+        seed=seed,
+        waves=waves,
+        up_time=up_time,
+        down_time=down_time,
+        first_offset=first_offset,
+        num_victims=num_victims,
+        max_time=max_time,
+    )
+
+
+@register_workload(
+    "smr-gray-partition",
+    summary="SMR: a minority partition healing gradually before TS under commands",
+    param_help={
+        "n": "number of replicas",
+        "heal_start": "fraction of ts at which the partition starts healing",
+        "end_drop": "cross-group drop probability remaining at TS",
+    },
+)
+def smr_gray_partition_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    ts: Optional[float] = None,
+    seed: int = 0,
+    heal_start: float = 0.4,
+    end_drop: float = 0.0,
+    with_crashes: bool = False,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """A gradually healing partition under a replicated command stream."""
+    return gray_partition_scenario(
+        n,
+        params=params,
+        ts=ts,
+        seed=seed,
+        heal_start=heal_start,
+        end_drop=end_drop,
+        with_crashes=with_crashes,
+        max_time=max_time,
+    )
+
+
+@register_workload(
+    "smr-asymmetric-link",
+    summary="SMR: slow links around the serving leader; follower submissions feel the hub",
+    param_help={
+        "n": "number of replicas",
+        "hub": "replica whose links are slow (default 0)",
+        "slow_factor": "pre-TS delays on slow links go up to slow_factor * delta",
+    },
+)
+def smr_asymmetric_link_scenario(
+    n: int,
+    params: Optional[TimingParams] = None,
+    ts: Optional[float] = None,
+    seed: int = 0,
+    hub: int = 0,
+    direction: str = "both",
+    slow_factor: float = 4.0,
+    slow_post_ts: bool = True,
+    max_time: Optional[float] = None,
+) -> Scenario:
+    """Hub-adjacent slow links under a replicated command stream."""
+    return asymmetric_link_scenario(
+        n,
+        params=params,
+        ts=ts,
+        seed=seed,
+        hub=hub,
+        direction=direction,
+        slow_factor=slow_factor,
+        slow_post_ts=slow_post_ts,
+        max_time=max_time,
+    )

@@ -52,6 +52,11 @@ class TestCliParser:
             "asymmetric-link",
             "gray-partition",
             "churn",
+            "smr-stable",
+            "smr-chaos",
+            "smr-churn",
+            "smr-gray-partition",
+            "smr-asymmetric-link",
         }
 
     def test_parser_requires_subcommand(self):
@@ -60,10 +65,11 @@ class TestCliParser:
 
     def test_parser_defaults(self):
         args = build_parser().parse_args(["run"])
-        assert args.protocol == "modified-paxos"
-        # --workload defaults to None at the parser level so an explicit
-        # flag can be detected when it conflicts with --env; _command_run
-        # falls back to partitioned-chaos.
+        # --protocol and --workload default to None at the parser level so an
+        # explicit flag can be detected when it conflicts with --env or with
+        # an smr-* workload; _command_run falls back to modified-paxos on
+        # partitioned-chaos.
+        assert args.protocol is None
         assert args.workload is None
         assert args.env is None
         assert args.n == 7
@@ -114,6 +120,34 @@ class TestCliCommands:
         )
         assert exit_code == 0
         assert "rotating-coordinator" in capsys.readouterr().out
+
+    def test_run_smr_workload(self, capsys):
+        exit_code = main(
+            ["run", "--workload", "smr-stable", "--n", "3", "--seed", "1",
+             "--commands", "2", "--target-pid", "2"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "smr run report" in output
+        assert "replicas agree              : OK" in output
+        assert "cmd-0000" in output
+
+    def test_run_smr_rejects_foreign_protocol(self, capsys):
+        exit_code = main(
+            ["run", "--protocol", "traditional-paxos", "--workload", "smr-stable",
+             "--n", "3"]
+        )
+        assert exit_code == 2
+        assert "multi-paxos-smr" in capsys.readouterr().out
+
+    def test_run_smr_schedule_past_horizon_fails_cleanly(self, capsys):
+        exit_code = main(
+            ["run", "--workload", "smr-stable", "--n", "3", "--commands", "2",
+             "--command-start", "10000.0"]
+        )
+        assert exit_code == 2
+        output = capsys.readouterr().out
+        assert "cmd-0000" in output and "horizon" in output
 
     def test_experiments_smoke(self, tmp_path, capsys):
         exit_code = main(
